@@ -1,0 +1,119 @@
+// Command misttune runs the Mist auto-tuner on one workload and prints
+// the chosen plan, the analyzer's prediction, and the execution engine's
+// measurement.
+//
+// Example:
+//
+//	misttune -model gpt3-2.7b -platform l4 -gpus 4 -batch 32
+//	misttune -model llama-7b -platform a100 -gpus 8 -batch 128 -space deepspeed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	mist "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("misttune: ")
+	var (
+		modelName = flag.String("model", "gpt3-2.7b", "model name (see -list-models)")
+		platform  = flag.String("platform", "l4", "l4 or a100")
+		gpus      = flag.Int("gpus", 4, "total GPU count (2, 4, 8 or a multiple of 8)")
+		batch     = flag.Int("batch", 32, "global batch size")
+		seq       = flag.Int("seq", 0, "sequence length (default: 2048 on l4, 4096 on a100)")
+		flash     = flag.Bool("flash", true, "enable FlashAttention")
+		spaceName = flag.String("space", "mist", "search space: mist|megatron|deepspeed|aceso|3d|uniform")
+		planOut   = flag.String("plan-out", "", "write the tuned plan as JSON to this file")
+		list      = flag.Bool("list-models", false, "list model catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range mist.Models() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg, err := mist.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cl *mist.Cluster
+	switch strings.ToLower(*platform) {
+	case "l4":
+		cl = mist.L4Cluster(*gpus)
+		if *seq == 0 {
+			*seq = 2048
+		}
+	case "a100":
+		cl = mist.A100Cluster(*gpus)
+		if *seq == 0 {
+			*seq = 4096
+		}
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+	var space mist.Space
+	switch strings.ToLower(*spaceName) {
+	case "mist":
+		space = mist.MistSpace()
+	case "megatron":
+		space = mist.MegatronSpace()
+	case "deepspeed":
+		space = mist.DeepSpeedSpace()
+	case "aceso":
+		space = mist.AcesoSpace()
+	case "3d":
+		space = mist.ThreeDSpace()
+	case "uniform":
+		space = mist.UniformSpace()
+	default:
+		log.Fatalf("unknown space %q", *spaceName)
+	}
+
+	w := mist.Workload{Model: cfg, Seq: *seq, Flash: *flash, GlobalBatch: *batch}
+	fmt.Printf("tuning %s on %d x %s (seq=%d, batch=%d, flash=%v, space=%s)\n",
+		cfg.Name, *gpus, cl.GPU.Name, *seq, *batch, *flash, space.Name)
+
+	res, err := mist.TuneWithSpace(w, cl, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest plan:\n%s\n", res.Plan)
+	fmt.Printf("\npredicted iteration time: %.3fs (%.2f samples/s)\n", res.Predicted, res.PredThroughput)
+	fmt.Printf("tuning: %d candidates over %d (S,G) pairs in %s\n",
+		res.Candidates, res.SGPairs, res.Elapsed.Round(1e6))
+
+	m, err := mist.Simulate(w, cl, res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured iteration time: %.3fs (%.2f samples/s), bubble %.1f%%\n",
+		m.IterTime, m.Throughput, 100*m.Bubble)
+	for i, pm := range m.PeakMem {
+		fmt.Printf("  stage %d peak memory: %.2f GB (budget %.2f GB)\n",
+			i, pm/(1<<30), cl.MemoryBudget()/(1<<30))
+	}
+	if m.OOM(cl.MemoryBudget()) {
+		fmt.Println("WARNING: plan exceeds the memory budget")
+	}
+
+	if *planOut != "" {
+		data, err := json.MarshalIndent(res.Plan, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *planOut)
+	}
+}

@@ -1,0 +1,50 @@
+// Multinode: tune the same GPT-3 7B fine-tuning job on two very
+// different 16-GPU platforms — PCIe-attached L4s (memory- and
+// bandwidth-constrained) and NVLink A100s — and compare the plans Mist
+// chooses. On the constrained platform the tuner leans on memory
+// optimizations to avoid deep pipelines; on the NVLink platform it can
+// afford tensor parallelism and lighter memory tricks (paper §6.2,
+// "Discussion on the hardware").
+//
+//	go run ./examples/multinode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mist "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	type platform struct {
+		name string
+		cl   *mist.Cluster
+		seq  int
+	}
+	platforms := []platform{
+		{"16x L4 (PCIe, 24 GB)", mist.L4Cluster(16), 2048},
+		{"16x A100 (NVLink, 40 GB)", mist.A100Cluster(16), 4096},
+	}
+	for _, p := range platforms {
+		w := mist.Workload{
+			Model:       mist.Model("gpt3-7b"),
+			Seq:         p.seq,
+			Flash:       true,
+			GlobalBatch: 128,
+		}
+		fmt.Printf("=== %s, seq %d ===\n", p.name, p.seq)
+		res, err := mist.Tune(w, p.cl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := mist.Simulate(w, p.cl, res.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Plan)
+		fmt.Printf("throughput %.2f samples/s, bubble %.1f%%, stage-0 peak %.1f GB / %.1f GB\n\n",
+			m.Throughput, 100*m.Bubble, m.PeakMem[0]/(1<<30), p.cl.MemoryBudget()/(1<<30))
+	}
+}

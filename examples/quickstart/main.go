@@ -1,0 +1,55 @@
+// Quickstart: tune a GPT-3 2.7B training job on 4 simulated NVIDIA L4
+// GPUs with the full Mist search space, then execute the chosen plan on
+// the discrete-event engine and compare the prediction with the
+// measurement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mist "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A training job: model, sequence length, FlashAttention, and the
+	// global batch size (samples per optimizer step).
+	w := mist.Workload{
+		Model:       mist.Model("gpt3-2.7b"),
+		Seq:         2048,
+		Flash:       true,
+		GlobalBatch: 32,
+	}
+	// The paper's PCIe platform: one node of 4x 24 GB L4 GPUs.
+	cl := mist.L4Cluster(4)
+
+	// Tune: jointly search parallelism (DP/TP/PP, microbatch, gradient
+	// accumulation) and memory optimizations (checkpointing, ZeRO,
+	// offloading ratios) for the highest-throughput plan that fits.
+	res, err := mist.Tune(w, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tuned plan:")
+	fmt.Println(res.Plan)
+	fmt.Printf("\npredicted: %.3fs per iteration (%.2f samples/s)\n",
+		res.Predicted, res.PredThroughput)
+	fmt.Printf("explored %d candidates over %d (S,G) pairs in %s\n",
+		res.Candidates, res.SGPairs, res.Elapsed.Round(1e6))
+
+	// Execute the plan on the simulated cluster.
+	m, err := mist.Simulate(w, cl, res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured: %.3fs per iteration (%.2f samples/s), pipeline bubble %.1f%%\n",
+		m.IterTime, m.Throughput, 100*m.Bubble)
+	for i, pm := range m.PeakMem {
+		fmt.Printf("stage %d peak memory: %.2f GB of %.2f GB budget\n",
+			i, pm/(1<<30), cl.MemoryBudget()/(1<<30))
+	}
+}

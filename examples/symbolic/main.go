@@ -1,0 +1,59 @@
+// Symbolic: the educational use of Mist's symbolic analysis system
+// highlighted in the paper's artifact appendix (§A.5): "it supports
+// tracing, which generates a corresponding symbolic computational graph
+// ... helping users understand shape propagation and how each input
+// dimension is utilized."
+//
+// This example traces one GPT-3 transformer block, prints its
+// closed-form memory expressions in the microbatch symbol b, and shows
+// how a single compiled program answers many what-if questions at once
+// (the batched value substitution behind Mist's tuning speed).
+//
+//	go run ./examples/symbolic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/symbolic"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := model.MustByName("gpt3-2.7b")
+	seq := 2048
+
+	for _, tp := range []int{1, 2} {
+		for _, flash := range []bool{true, false} {
+			g, err := graph.TraceLayer(cfg, seq, tp, flash)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("=== %s, seq %d, tp=%d, flash=%v: %d traced ops ===\n",
+				cfg.Name, seq, tp, flash, g.NumOps())
+			fmt.Printf("saved activations (bytes):  %s\n", g.SavedActivationBytes())
+			fmt.Printf("checkpoint boundary:        %s\n", g.BoundaryBytes())
+			fmt.Printf("backward liveness peak:     %s\n\n", g.PeakBackwardBytes())
+		}
+	}
+
+	// One symbolic trace, many configurations: compile the stash
+	// expression once and sweep the microbatch size.
+	g, err := graph.TraceLayer(cfg, seq, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := symbolic.MustCompile(
+		[]*symbolic.Expr{g.SavedActivationBytes(), g.PeakBackwardBytes()},
+		[]string{graph.BSymbol},
+	)
+	fmt.Println("batched substitution over microbatch sizes (GB per layer):")
+	fmt.Printf("%4s  %12s  %12s\n", "b", "stash", "bwd peak")
+	for _, b := range []float64{1, 2, 4, 8, 16} {
+		out := prog.EvalFrame([]float64{b}, nil, nil)
+		fmt.Printf("%4.0f  %12.3f  %12.3f\n", b, out[0]/(1<<30), out[1]/(1<<30))
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/trainsim"
+)
+
+// Heterogeneous per-stage device assignment (the (n_i, m_i) variables of
+// Table 2) must never lose to the uniform split — its candidate space is
+// a strict superset — and its plans must still validate and execute.
+
+func TestHeteroAtLeastAsGoodAsUniform(t *testing.T) {
+	w := testWorkload("gpt3-2.7b", 8)
+	nodes, perNode, _ := hardware.MeshForGPUs(4)
+	cl := hardware.L4Cluster(nodes, perNode)
+
+	uniform, err := New(w, cl, DeepSpeedSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := uniform.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heteroSpace := DeepSpeedSpace()
+	heteroSpace.HeterogeneousDevices = true
+	hetero := &Tuner{W: w, Cluster: cl, An: uniform.An, Space: heteroSpace}
+	rh, err := hetero.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Predicted > ru.Predicted+1e-9 {
+		t.Errorf("heterogeneous %v worse than uniform %v", rh.Predicted, ru.Predicted)
+	}
+	if err := rh.Plan.Validate(w); err != nil {
+		t.Fatalf("hetero plan invalid: %v", err)
+	}
+	// Device totals must tile the cluster exactly.
+	if rh.Plan.TotalDevices() != cl.TotalGPUs() {
+		t.Errorf("hetero plan uses %d devices of %d", rh.Plan.TotalDevices(), cl.TotalGPUs())
+	}
+	// And the plan must execute.
+	m, err := trainsim.New(w, cl, uniform.An).Measure(rh.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OOM(cl.MemoryBudget()) {
+		t.Error("hetero plan OOMs")
+	}
+}
+
+func TestHeteroDPDeviceConstraint(t *testing.T) {
+	// Hand-built instance where a uniform split is impossible: 3 stages
+	// on 4 devices. The device-aware DP must find 2+1+1.
+	w := testWorkload("gpt3-1.3b", 8) // 24 layers
+	nodes, perNode, _ := hardware.MeshForGPUs(4)
+	cl := hardware.L4Cluster(nodes, perNode)
+	space := ThreeDSpace()
+	space.HeterogeneousDevices = true
+	tn, err := New(w, cl, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := tn.tuneSG(3, 4, 0)
+	if err != nil {
+		t.Skipf("S=3 infeasible on this workload: %v", err)
+	}
+	devs := 0
+	for _, c := range sol.Stages {
+		devs += c.Shape.Devices()
+	}
+	if devs != 4 {
+		t.Errorf("device sum %d, want 4", devs)
+	}
+	layers := 0
+	for _, c := range sol.Stages {
+		layers += c.Knobs.Layers
+	}
+	if layers != 24 {
+		t.Errorf("layer sum %d, want 24", layers)
+	}
+}
+
+func TestDeviceOptions(t *testing.T) {
+	nodes, perNode, _ := hardware.MeshForGPUs(8)
+	cl := hardware.L4Cluster(nodes, perNode)
+	tn := &Tuner{W: testWorkload("gpt3-1.3b", 8), Cluster: cl}
+	got := tn.deviceOptions(2)
+	// Powers of two leaving >= 1 device for the other stage: 1, 2, 4.
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("deviceOptions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deviceOptions = %v, want %v", got, want)
+		}
+	}
+}

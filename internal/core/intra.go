@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/schedule"
+)
+
+// candidate is one priced intra-stage configuration: a complete stage
+// shape plus knobs, with its stable time t, delta d, and peak memory.
+type candidate struct {
+	Shape schedule.StageShape
+	Knobs schedule.Knobs
+	T, D  float64
+	Mem   float64
+}
+
+// intraStage enumerates and prices every (b, DP, TP, ZeRO, CKPT, WO, GO,
+// OO, AO) combination for one pipeline stage position and one layer
+// count, returning the feasible candidates. This is the paper's
+// brute-force intra-stage sweep (§5.3: "querying single datapoints is
+// extremely fast ... we simply search in a brute-force way").
+// planSafetyFraction leaves headroom between the analyzer's closed-form
+// memory estimate and the budget: the runtime's allocator fragmentation
+// (page rounding in the execution engine, ~2% in the paper's §6.6 memory
+// error) would otherwise push boundary plans into OOM at execution.
+const planSafetyFraction = 0.96
+
+func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate, int, error) {
+	budget := t.Cluster.MemoryBudget() * planSafetyFraction
+	grid := t.Space.offloadGrid()
+	zeroOnly := []float64{0}
+	woGrid, goGrid, ooGrid, aoGrid := zeroOnly, zeroOnly, zeroOnly, zeroOnly
+	if t.Space.TuneWO {
+		woGrid = grid
+	}
+	if t.Space.TuneGO {
+		goGrid = grid
+	}
+	if t.Space.TuneOO {
+		ooGrid = grid
+	}
+	if t.Space.TuneAO {
+		aoGrid = grid
+	}
+
+	// Checkpoint grid for this layer count.
+	ckptSet := map[int]bool{}
+	var ckpts []int
+	for _, f := range t.Space.ckptFractions() {
+		c := int(f*float64(layers) + 0.5)
+		if c < 0 {
+			c = 0
+		}
+		if c > layers {
+			c = layers
+		}
+		if !ckptSet[c] {
+			ckptSet[c] = true
+			ckpts = append(ckpts, c)
+		}
+	}
+	sort.Ints(ckpts)
+
+	// Knob batch shared across shapes.
+	var knobs []schedule.Knobs
+	for _, ck := range ckpts {
+		for _, wo := range woGrid {
+			for _, gov := range goGrid {
+				for _, oo := range ooGrid {
+					for _, ao := range aoGrid {
+						knobs = append(knobs, schedule.Knobs{
+							Layers: layers, Ckpt: ck, WO: wo, GO: gov, OO: oo, AO: ao,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	var out []candidate
+	evaluated := 0
+	for _, pt := range t.parallelisms(devPerStage, g) {
+		for _, zero := range t.Space.zeroLevels() {
+			if zero > 0 && pt.dp == 1 {
+				continue // ZeRO is a no-op without data parallelism
+			}
+			shape := schedule.StageShape{
+				B: pt.b, DP: pt.dp, TP: pt.tp, ZeRO: zero,
+				HasPre: stageIdx == 0, HasPost: stageIdx == s-1,
+				NumStages: s, StageIdx: stageIdx, GradAccum: g,
+			}
+			results, err := t.An.EvaluateBatch(shape, knobs)
+			if err != nil {
+				return nil, evaluated, err
+			}
+			evaluated += len(results)
+			for i, r := range results {
+				if !r.Fits(budget) {
+					continue
+				}
+				out = append(out, candidate{
+					Shape: shape, Knobs: knobs[i],
+					T: r.Stable, D: r.Delta, Mem: r.PeakMem,
+				})
+			}
+		}
+	}
+	return out, evaluated, nil
+}
+
+// parallelism is one feasible (tp, dp, b) split of a stage's devices.
+type parallelism struct{ tp, dp, b int }
+
+// parallelisms enumerates tensor/data-parallel splits of devPerStage that
+// are compatible with the model's head count, the node size (TP stays
+// within NVLink/PCIe domains), and the global batch factorization
+// b = B / (G * dp).
+func (t *Tuner) parallelisms(devPerStage, g int) []parallelism {
+	maxTP := t.Cluster.GPUsPerNode
+	if t.MaxTP > 0 && t.MaxTP < maxTP {
+		maxTP = t.MaxTP
+	}
+	var out []parallelism
+	for tp := 1; tp <= devPerStage && tp <= maxTP; tp *= 2 {
+		if devPerStage%tp != 0 || t.W.Model.Heads%tp != 0 {
+			continue
+		}
+		dp := devPerStage / tp
+		samplesPerSlot := t.W.GlobalBatch / g
+		if t.W.GlobalBatch%g != 0 || samplesPerSlot%dp != 0 {
+			continue
+		}
+		b := samplesPerSlot / dp
+		if b < 1 {
+			continue
+		}
+		out = append(out, parallelism{tp: tp, dp: dp, b: b})
+	}
+	return out
+}
+
+// paretoSample reduces a candidate set to K points on its (t, d) Pareto
+// frontier using the paper's dual-objective sweep (Eq. 4): for uniformly
+// sampled α in [0, 1], keep argmin α·G·t + (1−α)·d.
+func paretoSample(cands []candidate, g, k int) []candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	front := paretoFrontier(cands)
+	if len(front) <= k {
+		return front
+	}
+	picked := map[int]bool{}
+	var out []candidate
+	for i := 0; i < k; i++ {
+		alpha := float64(i) / float64(k-1)
+		bestIdx, bestVal := -1, 0.0
+		for j, c := range front {
+			v := alpha*float64(g)*c.T + (1-alpha)*c.D
+			if bestIdx < 0 || v < bestVal {
+				bestIdx, bestVal = j, v
+			}
+		}
+		if !picked[bestIdx] {
+			picked[bestIdx] = true
+			out = append(out, front[bestIdx])
+		}
+	}
+	return out
+}
+
+// paretoFrontier keeps the non-dominated candidates: c dominates c' when
+// c.T <= c'.T and c.D <= c'.D with at least one strict.
+func paretoFrontier(cands []candidate) []candidate {
+	sorted := append([]candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].T != sorted[j].T {
+			return sorted[i].T < sorted[j].T
+		}
+		return sorted[i].D < sorted[j].D
+	})
+	var front []candidate
+	bestD := 0.0
+	for _, c := range sorted {
+		if len(front) == 0 || c.D < bestD {
+			front = append(front, c)
+			bestD = c.D
+		}
+	}
+	return front
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/trainsim"
+)
+
+// The mixture-of-experts extension (paper §8 future work) must flow
+// through the whole stack: tracing, scheduling, tuning, and execution.
+
+func TestMoETraceAndCosting(t *testing.T) {
+	moe := model.MustMoEByName("gpt3-1.3b", 8, 2)
+	g, err := graph.TraceLayer(moe, 2048, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := graph.TraceLayer(model.MustByName("gpt3-1.3b"), 2048, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MoE adds router + dispatch + combine nodes.
+	if g.NumOps() <= dense.NumOps() {
+		t.Errorf("MoE trace %d ops should exceed dense %d", g.NumOps(), dense.NumOps())
+	}
+}
+
+func TestMoETuneAndMeasure(t *testing.T) {
+	w := plan.Workload{
+		Model: model.MustMoEByName("gpt3-1.3b", 8, 2),
+		Seq:   2048, Flash: true, GlobalBatch: 16,
+	}
+	nodes, perNode, _ := hardware.MeshForGPUs(4)
+	cl := hardware.L4Cluster(nodes, perNode)
+	tn, err := New(w, cl, MistSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Fatalf("MoE plan invalid: %v", err)
+	}
+	eng := trainsim.New(w, cl, tn.An)
+	m, err := eng.Measure(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OOM(cl.MemoryBudget()) {
+		t.Errorf("tuned MoE plan OOMs: %v", m.PeakMem)
+	}
+	// Routing jitter makes measurement deviate from prediction, but only
+	// modestly (the analyzer prices the capacity-factor average).
+	rel := math.Abs(res.Predicted-m.IterTime) / m.IterTime
+	if rel > 0.3 {
+		t.Errorf("MoE prediction error %.0f%%", 100*rel)
+	}
+}
+
+func TestMoESlowerThanDenseBase(t *testing.T) {
+	// Same hidden size, top-2-of-8 experts: more compute, more memory,
+	// plus all-to-alls => lower throughput than the dense base on equal
+	// hardware.
+	nodes, perNode, _ := hardware.MeshForGPUs(4)
+	cl := hardware.L4Cluster(nodes, perNode)
+	throughput := func(cfg model.Config) float64 {
+		w := plan.Workload{Model: cfg, Seq: 2048, Flash: true, GlobalBatch: 16}
+		tn, err := New(w, cl, MistSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tn.Tune()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := trainsim.New(w, cl, tn.An).Measure(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Throughput
+	}
+	dense := throughput(model.MustByName("gpt3-1.3b"))
+	moe := throughput(model.MustMoEByName("gpt3-1.3b", 8, 2))
+	if moe >= dense {
+		t.Errorf("MoE throughput %v should be below dense %v at equal hidden size", moe, dense)
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/interference"
+	"repro/internal/opdb"
+	"repro/internal/plan"
+	"repro/internal/schedule"
+)
+
+// Tuner is Mist's automatic distributed-training optimizer for one
+// workload on one cluster, restricted to a Space.
+type Tuner struct {
+	W       plan.Workload
+	Cluster *hardware.Cluster
+	An      *schedule.Analyzer
+	Space   Space
+
+	// MaxTP optionally caps the tensor-parallel degree below the node
+	// size.
+	MaxTP int
+
+	// LayerWindow is the half-width of the per-stage layer-count range
+	// explored around ceil(L/S); 0 means the default of 2.
+	LayerWindow int
+
+	// UseMILP selects the paper-faithful MILP inter-stage solver instead
+	// of the default exact DP (solveInterDP); the two return the same
+	// optimum (cross-checked in tests), the DP is much faster on deep
+	// pipelines.
+	UseMILP bool
+
+	// Exhaustive switches the inter-stage solver to branch-and-bound
+	// enumeration (used for cross-checks).
+	Exhaustive bool
+}
+
+// Result reports the tuned plan and tuning statistics.
+type Result struct {
+	Plan           *plan.Plan
+	Predicted      float64 // objective value (predicted iteration seconds)
+	PredThroughput float64 // samples/sec under the prediction
+	Candidates     int     // intra-stage configurations priced
+	SGPairs        int     // (pipeline depth, grad accum) pairs explored
+	Elapsed        time.Duration
+}
+
+// New builds a tuner with a freshly calibrated analyzer for the cluster
+// (operator database from the GPU model; interference factors fitted to
+// the platform's contention simulator with a fixed seed).
+func New(w plan.Workload, cl *hardware.Cluster, space Space) (*Tuner, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	fluid := interference.PCIeFluid()
+	if cl.HasNVLink() {
+		fluid = interference.NVLinkFluid()
+	}
+	intf := interference.Fit(fluid, 12, rand.New(rand.NewSource(42)))
+	an := schedule.NewAnalyzer(w.Model, w.Seq, w.Flash, cl, opdb.New(cl.GPU), intf)
+	an.Serialize = !space.OverlapAware
+	return &Tuner{W: w, Cluster: cl, An: an, Space: space}, nil
+}
+
+// NewWithAnalyzer builds a tuner reusing an existing analyzer (the
+// analyzer's Serialize flag is overridden to match the space).
+func NewWithAnalyzer(w plan.Workload, cl *hardware.Cluster, an *schedule.Analyzer, space Space) *Tuner {
+	an.Serialize = !space.OverlapAware
+	return &Tuner{W: w, Cluster: cl, An: an, Space: space}
+}
+
+// ErrNoFeasiblePlan is returned when every configuration in the space
+// exceeds the memory budget (the paper's OOM outcome, e.g. Figure 2(a)).
+var ErrNoFeasiblePlan = errors.New("core: no feasible plan in search space (OOM everywhere)")
+
+// Tune searches the configured space and returns the best plan found.
+// The (pipeline depth, gradient accumulation) pairs are independent and
+// tuned concurrently (§6.5: "searching over different gradient
+// accumulation steps is independent ... can be parallelized").
+func (t *Tuner) Tune() (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	type sg struct{ s, g, devPer int }
+	var pairs []sg
+	for _, s := range t.stageCounts() {
+		devPer := t.Cluster.TotalGPUs() / s
+		for _, g := range t.gradAccums() {
+			pairs = append(pairs, sg{s: s, g: g, devPer: devPer})
+		}
+	}
+	res.SGPairs = len(pairs)
+
+	type outcome struct {
+		sol   *interSolution
+		s, g  int
+		nEval int
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan sg)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				sol, nEval, err := t.tuneSG(p.s, p.g, p.devPer)
+				if err != nil {
+					sol = nil // infeasible (S, G): OOM or no factorization
+				}
+				results <- outcome{sol: sol, s: p.s, g: p.g, nEval: nEval}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range pairs {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	type found struct {
+		sol  *interSolution
+		s, g int
+	}
+	var best *found
+	for o := range results {
+		res.Candidates += o.nEval
+		if o.sol == nil {
+			continue
+		}
+		if best == nil || o.sol.Objective < best.sol.Objective ||
+			(o.sol.Objective == best.sol.Objective && (o.s < best.s || (o.s == best.s && o.g < best.g))) {
+			best = &found{sol: o.sol, s: o.s, g: o.g}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if best == nil {
+		return nil, ErrNoFeasiblePlan
+	}
+	p := &plan.Plan{GradAccum: best.g}
+	for _, c := range best.sol.Stages {
+		p.Stages = append(p.Stages, plan.Stage{Shape: c.Shape, Knobs: c.Knobs})
+	}
+	if err := p.Validate(t.W); err != nil {
+		return nil, fmt.Errorf("core: tuned plan invalid: %w", err)
+	}
+	res.Plan = p
+	res.Predicted = best.sol.Objective
+	res.PredThroughput = float64(t.W.GlobalBatch) / best.sol.Objective
+	return res, nil
+}
+
+// tuneSG runs intra-stage tuning + inter-stage selection for one
+// (pipeline depth, gradient accumulation) pair.
+func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
+	if t.Space.UniformStages {
+		return t.tuneUniform(s, g, devPer)
+	}
+	if t.Space.HeterogeneousDevices && s > 1 {
+		return t.tuneSGHetero(s, g)
+	}
+	evaluated := 0
+	cands := make([][]candidate, s)
+	for i := 0; i < s; i++ {
+		var stageC []candidate
+		for _, l := range t.layerRange(s, i) {
+			cs, n, err := t.intraStage(s, g, i, devPer, l)
+			evaluated += n
+			if err != nil {
+				return nil, evaluated, err
+			}
+			stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+		}
+		if len(stageC) == 0 {
+			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d", i, s, g)
+		}
+		cands[i] = stageC
+	}
+	var sol *interSolution
+	var err error
+	switch {
+	case t.Exhaustive:
+		sol, err = t.solveInterExhaustive(cands, t.W.Model.Layers, g)
+	case t.UseMILP:
+		sol, err = t.solveInterMILP(cands, t.W.Model.Layers, g)
+	default:
+		sol, err = t.solveInterDP(cands, t.W.Model.Layers, g)
+	}
+	if err != nil {
+		return nil, evaluated, err
+	}
+	return sol, evaluated, nil
+}
+
+// tuneSGHetero builds per-stage candidates over multiple device counts
+// and lets the device-aware DP partition both layers and devices (the
+// per-stage (n_i, m_i) assignment of Table 2).
+func (t *Tuner) tuneSGHetero(s, g int) (*interSolution, int, error) {
+	total := t.Cluster.TotalGPUs()
+	evaluated := 0
+	devOpts := t.deviceOptions(s)
+	cands := make([][]candidate, s)
+	for i := 0; i < s; i++ {
+		var stageC []candidate
+		for _, dev := range devOpts {
+			// Group the Pareto sampling per (device count, layer count)
+			// so the solver keeps trade-off points for every partition.
+			for _, l := range t.layerRange(s, i) {
+				cs, n, err := t.intraStage(s, g, i, dev, l)
+				evaluated += n
+				if err != nil {
+					return nil, evaluated, err
+				}
+				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+			}
+		}
+		if len(stageC) == 0 {
+			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d (hetero)", i, s, g)
+		}
+		cands[i] = stageC
+	}
+	sol, err := t.solveInterDPDevices(cands, t.W.Model.Layers, total, g)
+	if err != nil {
+		return nil, evaluated, err
+	}
+	return sol, evaluated, nil
+}
+
+// deviceOptions enumerates the per-stage device counts explored under
+// heterogeneous assignment: powers of two (the practical mesh shapes)
+// that leave at least one device for every other stage.
+func (t *Tuner) deviceOptions(s int) []int {
+	total := t.Cluster.TotalGPUs()
+	var out []int
+	for d := 1; d <= total-(s-1); d *= 2 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// tuneUniform implements the uniform-heuristic baseline (§3.3): one knob
+// set shared by every stage, uniform layer split.
+func (t *Tuner) tuneUniform(s, g, devPer int) (*interSolution, int, error) {
+	if t.W.Model.Layers%s != 0 {
+		return nil, 0, fmt.Errorf("core: uniform heuristic needs S | L")
+	}
+	l := t.W.Model.Layers / s
+	evaluated := 0
+	var best *interSolution
+	// Enumerate shared configurations via stage 0's candidate list, then
+	// replicate the knobs (and parallelism) across stages.
+	cands0, n, err := t.intraStage(s, g, 0, devPer, l)
+	evaluated += n
+	if err != nil {
+		return nil, evaluated, err
+	}
+	budget := t.Cluster.MemoryBudget() * planSafetyFraction
+	for _, c0 := range cands0 {
+		sel := make([]candidate, 0, s)
+		feasible := true
+		for i := 0; i < s; i++ {
+			shape := c0.Shape
+			shape.HasPre = i == 0
+			shape.HasPost = i == s-1
+			shape.StageIdx = i
+			r, err := t.An.Evaluate(shape, c0.Knobs)
+			evaluated++
+			if err != nil || !r.Fits(budget) {
+				feasible = false
+				break
+			}
+			sel = append(sel, candidate{Shape: shape, Knobs: c0.Knobs, T: r.Stable, D: r.Delta, Mem: r.PeakMem})
+		}
+		if !feasible {
+			continue
+		}
+		obj := t.objective(sel, g)
+		if best == nil || obj < best.Objective {
+			best = &interSolution{Stages: sel, Objective: obj}
+		}
+	}
+	if best == nil {
+		return nil, evaluated, fmt.Errorf("core: uniform heuristic infeasible for S=%d G=%d", s, g)
+	}
+	return best, evaluated, nil
+}
+
+// stageCounts enumerates pipeline depths: divisors of the GPU count
+// (uniform device split across stages). With heterogeneous device
+// assignment, non-divisor depths up to 8 are also explored, since the
+// device-aware solver can split the mesh unevenly.
+func (t *Tuner) stageCounts() []int {
+	total := t.Cluster.TotalGPUs()
+	var out []int
+	for s := 1; s <= total && s <= t.W.Model.Layers; s++ {
+		if total%s == 0 || (t.Space.HeterogeneousDevices && s <= 8) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// gradAccums enumerates gradient accumulation steps: divisors of the
+// global batch size.
+func (t *Tuner) gradAccums() []int {
+	var out []int
+	for g := 1; g <= t.W.GlobalBatch; g++ {
+		if t.W.GlobalBatch%g == 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// layerRange gives the candidate layer counts for one stage: a window
+// around the balanced share ceil(L/S), clipped so every other stage can
+// still receive at least one layer.
+func (t *Tuner) layerRange(s, stageIdx int) []int {
+	layers := t.W.Model.Layers
+	if s == 1 {
+		return []int{layers}
+	}
+	w := t.LayerWindow
+	if w <= 0 {
+		w = 2
+	}
+	center := (layers + s - 1) / s
+	lo := center - w
+	if lo < 1 {
+		lo = 1
+	}
+	hi := center + w
+	if maxL := layers - (s - 1); hi > maxL {
+		hi = maxL
+	}
+	var out []int
+	for l := lo; l <= hi; l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// PredictPlan prices an existing plan with the analyzer, returning the
+// Eq. 1 iteration-time prediction (used by accuracy experiments and by
+// multi-node "benchmark the strategy Mist found" flows).
+func (t *Tuner) PredictPlan(p *plan.Plan) (float64, error) {
+	if err := p.Validate(t.W); err != nil {
+		return 0, err
+	}
+	maxT, sumT := 0.0, 0.0
+	dm, prefix := 0.0, 0.0
+	for _, st := range p.Stages {
+		r, err := t.An.Evaluate(st.Shape, st.Knobs)
+		if err != nil {
+			return 0, err
+		}
+		sumT += r.Stable
+		maxT = math.Max(maxT, r.Stable)
+		if v := r.Delta - prefix; v > dm {
+			dm = v
+		}
+		prefix += r.Stable
+	}
+	return float64(p.GradAccum-1)*maxT + sumT + dm, nil
+}

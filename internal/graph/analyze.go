@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"repro/internal/opdb"
+	"repro/internal/symbolic"
+)
+
+// SavedActivationBytes returns the symbolic per-layer bytes that must be
+// stashed from forward to backward when the layer is NOT checkpointed
+// (the classic "saved activations" footprint). Tensors saved by multiple
+// nodes are counted once.
+func (g *Graph) SavedActivationBytes() *symbolic.Expr {
+	seen := map[*Tensor]bool{}
+	terms := []*symbolic.Expr{symbolic.Const(0)}
+	for _, n := range g.Nodes {
+		for _, t := range n.Saved {
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t.Size)
+			}
+		}
+	}
+	return symbolic.Add(terms...)
+}
+
+// BoundaryBytes returns the size of the layer's input boundary tensor,
+// the only stash a checkpointed layer keeps.
+func (g *Graph) BoundaryBytes() *symbolic.Expr { return g.Input.Size }
+
+// PeakForwardBytes runs liveness analysis over the forward execution
+// order and returns the symbolic peak of live activation bytes during one
+// forward pass of this layer, including tensors that must stay stashed
+// for backward. This is the intra-layer pass of the paper's memory
+// analyzer.
+func (g *Graph) PeakForwardBytes() *symbolic.Expr {
+	lastUse := map[*Tensor]int{}
+	saved := map[*Tensor]bool{}
+	for i, n := range g.Nodes {
+		for _, t := range n.Inputs {
+			lastUse[t] = i
+		}
+		for _, t := range n.Saved {
+			saved[t] = true
+		}
+	}
+	live := map[*Tensor]bool{}
+	if g.Input != nil {
+		live[g.Input] = true
+	}
+	var peaks []*symbolic.Expr
+	for i, n := range g.Nodes {
+		for _, t := range n.Outputs {
+			live[t] = true
+		}
+		peaks = append(peaks, sumLive(live))
+		for _, t := range n.Inputs {
+			if lastUse[t] == i && !saved[t] && t != g.Input {
+				delete(live, t)
+			}
+		}
+	}
+	if len(peaks) == 0 {
+		return symbolic.Const(0)
+	}
+	return symbolic.Max(peaks...)
+}
+
+// PeakBackwardBytes runs liveness analysis over the generated backward
+// order (reverse of forward) and returns the symbolic peak of live bytes:
+// stashed activations not yet consumed, plus activation gradients in
+// flight. Parameter and parameter-gradient memory is accounted separately
+// by the stage memory planner.
+func (g *Graph) PeakBackwardBytes() *symbolic.Expr {
+	producer := map[*Tensor]int{}
+	saveUses := map[*Tensor]int{}
+	for i, n := range g.Nodes {
+		for _, t := range n.Outputs {
+			producer[t] = i
+		}
+		for _, t := range n.Saved {
+			saveUses[t]++
+		}
+	}
+	// gradLive holds activation gradients currently materialized.
+	gradLive := map[*Tensor]bool{}
+	// The incoming gradient of the block output arrives first.
+	if len(g.Nodes) > 0 {
+		last := g.Nodes[len(g.Nodes)-1]
+		for _, t := range last.Outputs {
+			gradLive[t] = true
+		}
+	}
+	var peaks []*symbolic.Expr
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		// Backward of n: output grads + input grads + remaining stash
+		// coexist while the node executes.
+		for _, t := range n.Inputs {
+			gradLive[t] = true
+		}
+		step := []*symbolic.Expr{sumLiveGrads(gradLive), sumStash(saveUses)}
+		peaks = append(peaks, symbolic.Add(step...))
+		// Output grads die once their producer's backward has run.
+		for _, t := range n.Outputs {
+			if producer[t] == i {
+				delete(gradLive, t)
+			}
+		}
+		// Stashed tensors are released after their last backward use.
+		for _, t := range n.Saved {
+			saveUses[t]--
+		}
+	}
+	if len(peaks) == 0 {
+		return symbolic.Const(0)
+	}
+	return symbolic.Max(peaks...)
+}
+
+func sumLive(live map[*Tensor]bool) *symbolic.Expr {
+	terms := []*symbolic.Expr{symbolic.Const(0)}
+	for t := range live {
+		terms = append(terms, t.Size)
+	}
+	return symbolic.Add(terms...)
+}
+
+func sumLiveGrads(gradLive map[*Tensor]bool) *symbolic.Expr {
+	terms := []*symbolic.Expr{symbolic.Const(0)}
+	for t := range gradLive {
+		terms = append(terms, t.Size) // grad has the tensor's own size (fp16)
+	}
+	return symbolic.Add(terms...)
+}
+
+func sumStash(saveUses map[*Tensor]int) *symbolic.Expr {
+	terms := []*symbolic.Expr{symbolic.Const(0)}
+	for t, uses := range saveUses {
+		if uses > 0 {
+			terms = append(terms, t.Size)
+		}
+	}
+	return symbolic.Add(terms...)
+}
+
+// ForwardTime prices one forward pass of the layer at microbatch size b.
+func (g *Graph) ForwardTime(db *opdb.DB, b int) float64 {
+	total := 0.0
+	for _, n := range g.Nodes {
+		total += db.Lookup(n.ShapeAt(b)).Time * n.Repeat
+	}
+	return total
+}
+
+// backwardMultiplier returns the op list of the backward pass of node n.
+// Matmuls expand into dX and dW GEMMs (2x forward FLOPs); fused attention
+// backward re-runs the forward tiling plus the dQ/dK/dV accumulation
+// (~2.5x); bandwidth-bound ops cost roughly their forward time.
+func backwardOps(n *Node, b int) []opdb.OpShape {
+	switch n.Kind {
+	case opdb.Matmul:
+		m := n.MPerSample * b
+		return []opdb.OpShape{
+			{Kind: opdb.Matmul, M: m, N: n.K, K: n.N}, // dX = dY * W^T
+			{Kind: opdb.Matmul, M: n.K, N: n.N, K: m}, // dW = X^T * dY
+		}
+	case opdb.Embedding:
+		return []opdb.OpShape{n.ShapeAt(b)} // scatter-add into the table
+	default:
+		return []opdb.OpShape{n.ShapeAt(b)}
+	}
+}
+
+// backwardRepeat gives the cost multiplier applied to backwardOps.
+func backwardRepeat(k opdb.Kind) float64 {
+	switch k {
+	case opdb.FlashAttn:
+		return 2.5
+	case opdb.CoreAttn:
+		return 2.0
+	default:
+		return 1.0
+	}
+}
+
+// BackwardTime prices one backward pass of the layer at microbatch b.
+func (g *Graph) BackwardTime(db *opdb.DB, b int) float64 {
+	total := 0.0
+	for _, n := range g.Nodes {
+		rep := backwardRepeat(n.Kind) * n.Repeat
+		for _, s := range backwardOps(n, b) {
+			total += db.Lookup(s).Time * rep
+		}
+	}
+	return total
+}
+
+// NumOps returns the traced node count (for tests and reporting).
+func (g *Graph) NumOps() int { return len(g.Nodes) }

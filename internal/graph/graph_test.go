@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/opdb"
+	"repro/internal/symbolic"
+)
+
+func evalAt(e *symbolic.Expr, b float64) float64 {
+	return e.MustEval(symbolic.Env{BSymbol: b})
+}
+
+func mustTrace(t *testing.T, name string, seq, tp int, flash bool) *Graph {
+	t.Helper()
+	g, err := TraceLayer(model.MustByName(name), seq, tp, flash)
+	if err != nil {
+		t.Fatalf("trace %s: %v", name, err)
+	}
+	return g
+}
+
+func TestTraceRejectsBadTP(t *testing.T) {
+	if _, err := TraceLayer(model.MustByName("gpt3-7b"), 2048, 3, true); err == nil {
+		t.Fatal("tp=3 should not divide 32 heads")
+	}
+	if _, err := TraceLayer(model.MustByName("gpt3-7b"), 2048, 0, true); err == nil {
+		t.Fatal("tp=0 must be rejected")
+	}
+}
+
+// TestSavedActivationCoefficient checks the traced stash against the
+// Megatron-style accounting: with FlashAttention and tp=1 a GPT block
+// stashes about 34*s*h bytes per sample (8 full-width tensors + 26/tp).
+func TestSavedActivationCoefficient(t *testing.T) {
+	cfg := model.MustByName("gpt3-7b")
+	seq := 2048
+	g := mustTrace(t, "gpt3-7b", seq, 1, true)
+	perSample := evalAt(g.SavedActivationBytes(), 1)
+	sh := float64(seq) * float64(cfg.Hidden)
+	coeff := perSample / sh
+	if coeff < 30 || coeff > 38 {
+		t.Errorf("saved activation coefficient %.1f*s*h, want ~34", coeff)
+	}
+}
+
+func TestSavedActivationsShrinkWithTP(t *testing.T) {
+	g1 := mustTrace(t, "gpt3-7b", 2048, 1, true)
+	g8 := mustTrace(t, "gpt3-7b", 2048, 8, true)
+	s1 := evalAt(g1.SavedActivationBytes(), 4)
+	s8 := evalAt(g8.SavedActivationBytes(), 4)
+	if s8 >= s1 {
+		t.Errorf("tp=8 stash %.0f should be below tp=1 stash %.0f", s8, s1)
+	}
+	// But not by the full 8x: norm inputs/outputs stay full-width.
+	if s8 < s1/8 {
+		t.Errorf("tp=8 stash %.0f below s1/8=%.0f: full-width terms missing", s8, s1/8)
+	}
+}
+
+func TestFlashAttentionRemovesQuadraticStash(t *testing.T) {
+	// Without FlashAttention the stash includes the b*a*s^2 softmax
+	// output; at seq 4096 that dominates.
+	flash := mustTrace(t, "gpt3-7b", 4096, 1, true)
+	unfused := mustTrace(t, "gpt3-7b", 4096, 1, false)
+	sf := evalAt(flash.SavedActivationBytes(), 1)
+	su := evalAt(unfused.SavedActivationBytes(), 1)
+	if su <= sf*1.5 {
+		t.Errorf("unfused stash %.2e should far exceed flash stash %.2e at seq 4096", su, sf)
+	}
+}
+
+func TestBoundaryBytes(t *testing.T) {
+	cfg := model.MustByName("gpt3-7b")
+	g := mustTrace(t, "gpt3-7b", 2048, 2, true)
+	want := 2.0 * 2048 * float64(cfg.Hidden) // fp16 * s * h per sample
+	if got := evalAt(g.BoundaryBytes(), 1); math.Abs(got-want) > 1 {
+		t.Errorf("boundary bytes %.0f, want %.0f", got, want)
+	}
+}
+
+func TestPeakForwardAtLeastSaved(t *testing.T) {
+	for _, flash := range []bool{true, false} {
+		g := mustTrace(t, "llama-7b", 2048, 2, flash)
+		for _, b := range []float64{1, 2, 4, 8} {
+			peak := evalAt(g.PeakForwardBytes(), b)
+			saved := evalAt(g.SavedActivationBytes(), b)
+			if peak < saved {
+				t.Errorf("flash=%v b=%v: fwd peak %.0f below stash %.0f", flash, b, peak, saved)
+			}
+		}
+	}
+}
+
+func TestPeakBackwardExceedsForward(t *testing.T) {
+	// Backward holds the stash plus activation gradients, so its peak
+	// must exceed the forward peak.
+	g := mustTrace(t, "gpt3-7b", 2048, 1, true)
+	fwd := evalAt(g.PeakForwardBytes(), 4)
+	bwd := evalAt(g.PeakBackwardBytes(), 4)
+	if bwd <= fwd {
+		t.Errorf("bwd peak %.0f should exceed fwd peak %.0f", bwd, fwd)
+	}
+}
+
+func TestMemoryLinearInBatch(t *testing.T) {
+	g := mustTrace(t, "falcon-7b", 2048, 2, true)
+	exprs := []*symbolic.Expr{
+		g.SavedActivationBytes(), g.PeakForwardBytes(), g.PeakBackwardBytes(),
+	}
+	for i, e := range exprs {
+		v1, v2 := evalAt(e, 3), evalAt(e, 6)
+		if math.Abs(v2-2*v1) > 1e-6*v2 {
+			t.Errorf("expr %d not linear in b: f(3)=%v f(6)=%v", i, v1, v2)
+		}
+	}
+}
+
+func TestForwardBackwardTimes(t *testing.T) {
+	db := opdb.New(hardware.L4())
+	g := mustTrace(t, "gpt3-2.7b", 2048, 1, true)
+	fwd := g.ForwardTime(db, 2)
+	bwd := g.BackwardTime(db, 2)
+	if fwd <= 0 || bwd <= 0 {
+		t.Fatalf("non-positive times: fwd=%v bwd=%v", fwd, bwd)
+	}
+	// Backward does ~2x the matmul work of forward.
+	if ratio := bwd / fwd; ratio < 1.3 || ratio > 3.5 {
+		t.Errorf("bwd/fwd ratio %.2f outside [1.3, 3.5]", ratio)
+	}
+}
+
+func TestForwardTimeMatchesModelFLOPs(t *testing.T) {
+	// The traced matmul FLOPs must match the closed-form layer estimate.
+	db := opdb.New(hardware.A100())
+	cfg := model.MustByName("gpt3-7b")
+	g := mustTrace(t, "gpt3-7b", 2048, 1, true)
+	b := 4
+	var traced float64
+	for _, n := range g.Nodes {
+		c := db.Lookup(n.ShapeAt(b))
+		traced += c.FLOPs * n.Repeat
+	}
+	want := cfg.LayerFwdFLOPs(b, 2048)
+	if math.Abs(traced-want)/want > 0.05 {
+		t.Errorf("traced FLOPs %.3e vs closed-form %.3e (>5%% off)", traced, want)
+	}
+}
+
+func TestTPSpeedsUpForward(t *testing.T) {
+	db := opdb.New(hardware.L4())
+	g1 := mustTrace(t, "gpt3-7b", 2048, 1, true)
+	g4 := mustTrace(t, "gpt3-7b", 2048, 4, true)
+	t1 := g1.ForwardTime(db, 4)
+	t4 := g4.ForwardTime(db, 4)
+	if t4 >= t1 {
+		t.Errorf("tp=4 fwd %.5f should beat tp=1 fwd %.5f", t4, t1)
+	}
+}
+
+func TestPrePostLayers(t *testing.T) {
+	db := opdb.New(hardware.L4())
+	pre := TracePreLayer(model.MustByName("gpt3-7b"), 2048, 1)
+	post := TracePostLayer(model.MustByName("gpt3-7b"), 2048, 1)
+	if pre.NumOps() == 0 || post.NumOps() == 0 {
+		t.Fatal("empty pre/post trace")
+	}
+	if pre.ForwardTime(db, 2) <= 0 || post.ForwardTime(db, 2) <= 0 {
+		t.Error("non-positive pre/post forward time")
+	}
+	// The LM head is far more expensive than the embedding gather.
+	if post.ForwardTime(db, 2) <= pre.ForwardTime(db, 2) {
+		t.Error("post layer (LM head) should dominate pre layer")
+	}
+	if evalAt(post.SavedActivationBytes(), 1) <= 0 {
+		t.Error("post layer should stash logits and ln input")
+	}
+}
+
+func TestFamiliesTraceDistinctly(t *testing.T) {
+	db := opdb.New(hardware.L4())
+	llama := mustTrace(t, "llama-7b", 2048, 1, true)
+	gpt := mustTrace(t, "gpt3-7b", 2048, 1, true)
+	falcon := mustTrace(t, "falcon-7b", 2048, 1, true)
+	// LLaMA's gated MLP adds a matmul compared to GPT.
+	if llama.NumOps() <= gpt.NumOps() {
+		t.Errorf("llama ops %d should exceed gpt ops %d (gate proj)", llama.NumOps(), gpt.NumOps())
+	}
+	// Falcon merges the residual path (one residual node, no ln2).
+	if falcon.NumOps() >= gpt.NumOps() {
+		t.Errorf("falcon ops %d should be below gpt ops %d (parallel block)", falcon.NumOps(), gpt.NumOps())
+	}
+	for _, g := range []*Graph{llama, gpt, falcon} {
+		if g.ForwardTime(db, 2) <= 0 {
+			t.Errorf("%s: non-positive forward time", g.Name)
+		}
+	}
+}
+
+// Property: peak memory expressions are monotone in b for every family,
+// TP degree and flash setting.
+func TestPropertyPeakMonotoneInBatch(t *testing.T) {
+	names := []string{"gpt3-2.7b", "llama-2.7b", "falcon-2.7b"}
+	tps := []int{1, 2, 4}
+	f := func(ni, ti uint8, flash bool, b1, b2 uint8) bool {
+		g, err := TraceLayer(model.MustByName(names[int(ni)%len(names)]), 1024, tps[int(ti)%len(tps)], flash)
+		if err != nil {
+			return false
+		}
+		x, y := float64(b1%16)+1, float64(b2%16)+1
+		if x > y {
+			x, y = y, x
+		}
+		return evalAt(g.PeakForwardBytes(), x) <= evalAt(g.PeakForwardBytes(), y)+1e-9 &&
+			evalAt(g.PeakBackwardBytes(), x) <= evalAt(g.PeakBackwardBytes(), y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all memory expressions depend only on the symbol b.
+func TestPropertyFreeVarsOnlyB(t *testing.T) {
+	g := mustTrace(t, "gpt3-7b", 2048, 4, false)
+	for _, e := range []*symbolic.Expr{g.SavedActivationBytes(), g.PeakForwardBytes(), g.PeakBackwardBytes()} {
+		fv := e.FreeVars()
+		if len(fv) > 1 || (len(fv) == 1 && fv[0] != BSymbol) {
+			t.Errorf("unexpected free vars %v", fv)
+		}
+	}
+}

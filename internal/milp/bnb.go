@@ -1,0 +1,141 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SolveMILP solves the mixed-integer problem by LP-based branch and bound
+// with best-first node selection and most-fractional branching. Returns
+// ErrInfeasible when no integral solution exists within the bounds.
+func (p *Problem) SolveMILP() (*Solution, error) {
+	root, err := p.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	if p.isIntegral(root.X) {
+		return p.roundIntegral(root), nil
+	}
+
+	type node struct {
+		bounds map[int][2]float64
+		lb     float64 // LP relaxation value (lower bound for minimization)
+	}
+	queue := []node{{bounds: map[int][2]float64{}, lb: root.Objective}}
+	var best *Solution
+	bestObj := math.Inf(1)
+
+	const nodeLimit = 200000
+	for nodes := 0; len(queue) > 0 && nodes < nodeLimit; nodes++ {
+		// Best-first: pop the node with the smallest bound.
+		sort.Slice(queue, func(i, j int) bool { return queue[i].lb < queue[j].lb })
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.lb >= bestObj-1e-9 {
+			continue // pruned
+		}
+		sol, err := p.solveLPWith(cur.bounds)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			return nil, err
+		}
+		if sol.Objective >= bestObj-1e-9 {
+			continue
+		}
+		frac := p.mostFractional(sol.X)
+		if frac < 0 {
+			// Integral: new incumbent.
+			s := p.roundIntegral(sol)
+			if s.Objective < bestObj {
+				bestObj = s.Objective
+				best = s
+			}
+			continue
+		}
+		v := sol.X[frac]
+		lo, hi := math.Floor(v), math.Ceil(v)
+		down := cloneBounds(cur.bounds)
+		tightenUpper(down, frac, lo)
+		up := cloneBounds(cur.bounds)
+		tightenLower(up, frac, hi)
+		queue = append(queue,
+			node{bounds: down, lb: sol.Objective},
+			node{bounds: up, lb: sol.Objective},
+		)
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+const intTol = 1e-6
+
+func (p *Problem) isIntegral(x []float64) bool {
+	return p.mostFractional(x) < 0
+}
+
+// mostFractional returns the integer variable farthest from integrality,
+// or -1 when all integer variables are integral.
+func (p *Problem) mostFractional(x []float64) int {
+	best, bestDist := -1, intTol
+	for i, isInt := range p.integer {
+		if !isInt {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = i
+		}
+	}
+	return best
+}
+
+// roundIntegral snaps near-integral integer variables exactly and
+// recomputes the objective.
+func (p *Problem) roundIntegral(s *Solution) *Solution {
+	x := append([]float64(nil), s.X...)
+	obj := 0.0
+	for i := range x {
+		if p.integer[i] {
+			x[i] = math.Round(x[i])
+		}
+		obj += p.objective[i] * x[i]
+	}
+	return &Solution{X: x, Objective: obj}
+}
+
+func cloneBounds(b map[int][2]float64) map[int][2]float64 {
+	out := make(map[int][2]float64, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func tightenUpper(b map[int][2]float64, i int, hi float64) {
+	cur, ok := b[i]
+	if !ok {
+		cur = [2]float64{math.Inf(-1), math.Inf(1)}
+	}
+	if hi < cur[1] {
+		cur[1] = hi
+	}
+	b[i] = cur
+}
+
+func tightenLower(b map[int][2]float64, i int, lo float64) {
+	cur, ok := b[i]
+	if !ok {
+		cur = [2]float64{math.Inf(-1), math.Inf(1)}
+	}
+	if lo > cur[0] {
+		cur[0] = lo
+	}
+	b[i] = cur
+}

@@ -1,0 +1,368 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestLPBasic(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0
+	// => minimize -3x - 2y. Optimum at (4, 0): obj -12.
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 3}, LE, 6)
+	s, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Objective, -12) {
+		t.Errorf("objective %v, want -12", s.Objective)
+	}
+	if !almostEq(s.X[0], 4) || !almostEq(s.X[1], 0) {
+		t.Errorf("x = %v, want (4, 0)", s.X)
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	// minimize x + y s.t. x + y = 5, x - y = 1 => (3, 2), obj 5.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 1)
+	s, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 3) || !almostEq(s.X[1], 2) {
+		t.Errorf("x = %v, want (3, 2)", s.X)
+	}
+}
+
+func TestLPGE(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 10, x >= 2 => (8, 2)? Check: obj
+	// 2x+3y minimized by maximizing x: x=8,y=2 gives 22; but y=0, x=10
+	// gives 20 and satisfies x>=2. Optimum (10, 0) obj 20.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 10)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	s, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Objective, 20) {
+		t.Errorf("objective %v, want 20", s.Objective)
+	}
+}
+
+func TestLPBounds(t *testing.T) {
+	// minimize -x with x in [1, 3] => x = 3.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.SetBounds(0, 1, 3)
+	s, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 3) {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+	// Nonzero lower bound honored.
+	p2 := NewProblem(1)
+	p2.SetObjective(0, 1)
+	p2.SetBounds(0, 1.5, 3)
+	s2, err := p2.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s2.X[0], 1.5) {
+		t.Errorf("x = %v, want 1.5", s2.X[0])
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 5)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	if _, err := p.SolveLP(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1) // minimize -x, x unbounded above
+	if _, err := p.SolveLP(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("got %v, want ErrUnbounded", err)
+	}
+}
+
+func TestLPNegativeRHS(t *testing.T) {
+	// minimize x s.t. -x <= -4  (i.e. x >= 4).
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: -1}, LE, -4)
+	s, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 4) {
+		t.Errorf("x = %v, want 4", s.X[0])
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// Knapsack: values 60,100,120, weights 10,20,30, cap 50 => take items
+	// 2 and 3: value 220.
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	p := NewProblem(3)
+	cons := map[int]float64{}
+	for i := range values {
+		p.SetObjective(i, -values[i])
+		p.SetBinary(i)
+		cons[i] = weights[i]
+	}
+	p.AddConstraint(cons, LE, 50)
+	s, err := p.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Objective, -220) {
+		t.Errorf("objective %v, want -220", s.Objective)
+	}
+	if math.Round(s.X[0]) != 0 || math.Round(s.X[1]) != 1 || math.Round(s.X[2]) != 1 {
+		t.Errorf("selection %v, want (0,1,1)", s.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// minimize -x s.t. 2x <= 7, x integer => x = 3 (LP gives 3.5).
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.SetInteger(0)
+	p.AddConstraint(map[int]float64{0: 2}, LE, 7)
+	s, err := p.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.X[0], 3) {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestMILPInfeasibleIntegrality(t *testing.T) {
+	// 2x = 1 with x integer is infeasible.
+	p := NewProblem(1)
+	p.SetInteger(0)
+	p.AddConstraint(map[int]float64{0: 2}, EQ, 1)
+	if _, err := p.SolveMILP(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMILPAssignment(t *testing.T) {
+	// 3x3 assignment problem: cost matrix; binary x[i][j], each row and
+	// column exactly once. Optimal = 5 (1+1+3? compute: costs below).
+	cost := [3][3]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	// Optimal assignment: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+	p := NewProblem(9)
+	idx := func(i, j int) int { return i*3 + j }
+	for i := 0; i < 3; i++ {
+		rowC := map[int]float64{}
+		colC := map[int]float64{}
+		for j := 0; j < 3; j++ {
+			p.SetBinary(idx(i, j))
+			p.SetObjective(idx(i, j), cost[i][j])
+			rowC[idx(i, j)] = 1
+			colC[idx(j, i)] = 1
+		}
+		p.AddConstraint(rowC, EQ, 1)
+		p.AddConstraint(colC, EQ, 1)
+	}
+	s, err := p.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Objective, 5) {
+		t.Errorf("assignment objective %v, want 5", s.Objective)
+	}
+}
+
+func TestMILPLinearizedMax(t *testing.T) {
+	// The inter-stage pattern: minimize T with T >= t_i for selected
+	// candidates. Select one of {3, 7} for slot A and one of {5, 4} for
+	// slot B to minimize max: choose 3 and 4 => T = 4.
+	// Vars: x0 (t=3), x1 (t=7), x2 (t=5), x3 (t=4), T.
+	p := NewProblem(5)
+	for i := 0; i < 4; i++ {
+		p.SetBinary(i)
+	}
+	p.SetObjective(4, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 1)
+	p.AddConstraint(map[int]float64{2: 1, 3: 1}, EQ, 1)
+	// T >= 3*x0 + 7*x1 and T >= 5*x2 + 4*x3.
+	p.AddConstraint(map[int]float64{4: 1, 0: -3, 1: -7}, GE, 0)
+	p.AddConstraint(map[int]float64{4: 1, 2: -5, 3: -4}, GE, 0)
+	s, err := p.SolveMILP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Objective, 4) {
+		t.Errorf("minimax objective %v, want 4", s.Objective)
+	}
+}
+
+// TestPropertyMILPMatchesBruteForce cross-checks random small knapsacks
+// against exhaustive enumeration.
+func TestPropertyMILPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(50) + 1)
+			weights[i] = float64(rng.Intn(30) + 1)
+		}
+		cap := float64(rng.Intn(60) + 10)
+
+		p := NewProblem(n)
+		cons := map[int]float64{}
+		for i := range values {
+			p.SetObjective(i, -values[i])
+			p.SetBinary(i)
+			cons[i] = weights[i]
+		}
+		p.AddConstraint(cons, LE, cap)
+		s, err := p.SolveMILP()
+		if err != nil {
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for m := 0; m < 1<<n; m++ {
+			v, w := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					v += values[i]
+					w += weights[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		return almostEq(-s.Objective, best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLPFeasibility: solutions returned by the LP satisfy every
+// constraint and bound.
+func TestPropertyLPFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.SetObjective(i, float64(rng.Intn(21)-10))
+			p.SetBounds(i, 0, float64(rng.Intn(10)+1))
+		}
+		for c := 0; c < rng.Intn(4)+1; c++ {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coeffs[i] = float64(rng.Intn(11) - 5)
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			p.AddConstraint(coeffs, LE, float64(rng.Intn(40)))
+		}
+		s, err := p.SolveLP()
+		if errors.Is(err, ErrInfeasible) {
+			return true // nothing to verify
+		}
+		if err != nil {
+			return false
+		}
+		for i, v := range s.X {
+			if v < p.lower[i]-1e-6 || v > p.upper[i]+1e-6 {
+				return false
+			}
+		}
+		for _, c := range p.cons {
+			lhs := 0.0
+			for k, v := range c.Coeffs {
+				lhs += v * s.X[k]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMILPAssignment8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := 8
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = float64(rng.Intn(100))
+		}
+	}
+	b.ReportAllocs()
+	for it := 0; it < b.N; it++ {
+		p := NewProblem(n * n)
+		idx := func(i, j int) int { return i*n + j }
+		for i := 0; i < n; i++ {
+			rowC := map[int]float64{}
+			colC := map[int]float64{}
+			for j := 0; j < n; j++ {
+				p.SetBinary(idx(i, j))
+				p.SetObjective(idx(i, j), cost[i][j])
+				rowC[idx(i, j)] = 1
+				colC[idx(j, i)] = 1
+			}
+			p.AddConstraint(rowC, EQ, 1)
+			p.AddConstraint(colC, EQ, 1)
+		}
+		if _, err := p.SolveMILP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, name := range Names() {
+		c := MustByName(name)
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("gpt5-1t"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+// TestParamCountsMatchLabels verifies that the catalog sizes land within
+// 15% of their billion-parameter labels.
+func TestParamCountsMatchLabels(t *testing.T) {
+	labels := map[string]float64{
+		"gpt3-1.3b": 1.3e9, "gpt3-2.7b": 2.7e9, "gpt3-7b": 6.7e9,
+		"gpt3-13b": 13e9, "gpt3-22b": 22e9, "gpt3-40b": 39e9,
+		"llama-1.3b": 1.3e9, "llama-7b": 6.7e9, "llama-13b": 13e9,
+		"falcon-7b": 6.7e9, "falcon-22b": 22e9,
+	}
+	for name, want := range labels {
+		c := MustByName(name)
+		got := float64(c.TotalParams())
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("%s: %e params, label %e (%.0f%% off)", name, got, want, 100*math.Abs(got-want)/want)
+		}
+	}
+}
+
+func TestFamilyProperties(t *testing.T) {
+	gpt := MustByName("gpt3-7b")
+	llama := MustByName("llama-7b")
+	falcon := MustByName("falcon-7b")
+	if gpt.TPAllReducesPerLayer() != 2 {
+		t.Errorf("gpt all-reduces: got %d, want 2", gpt.TPAllReducesPerLayer())
+	}
+	if llama.TPAllReducesPerLayer() != 2 {
+		t.Errorf("llama all-reduces: got %d, want 2", llama.TPAllReducesPerLayer())
+	}
+	if falcon.TPAllReducesPerLayer() != 1 {
+		t.Errorf("falcon all-reduces: got %d, want 1 (parallel attention)", falcon.TPAllReducesPerLayer())
+	}
+	if !llama.UsesGatedMLP() || gpt.UsesGatedMLP() || falcon.UsesGatedMLP() {
+		t.Error("gated MLP flags wrong")
+	}
+	if gpt.MaxSeq == 0 {
+		t.Error("gpt should have learned positional embeddings")
+	}
+	if llama.MaxSeq != 0 {
+		t.Error("llama uses rotary embeddings; MaxSeq should be 0")
+	}
+}
+
+func TestHeadDim(t *testing.T) {
+	c := MustByName("gpt3-2.7b")
+	if c.HeadDim()*c.Heads != c.Hidden {
+		t.Errorf("head dim %d * heads %d != hidden %d", c.HeadDim(), c.Heads, c.Hidden)
+	}
+}
+
+func TestFLOPsScaleLinearInBatch(t *testing.T) {
+	c := MustByName("gpt3-7b")
+	f1 := c.LayerFwdFLOPs(1, 2048)
+	f4 := c.LayerFwdFLOPs(4, 2048)
+	if math.Abs(f4-4*f1) > 1e-6*f4 {
+		t.Errorf("FLOPs not linear in batch: f(4)=%v, 4*f(1)=%v", f4, 4*f1)
+	}
+}
+
+func TestFLOPsSuperlinearInSeq(t *testing.T) {
+	// Attention makes FLOPs superlinear in sequence length.
+	c := MustByName("gpt3-7b")
+	f1 := c.LayerFwdFLOPs(1, 2048)
+	f2 := c.LayerFwdFLOPs(1, 4096)
+	if f2 <= 2*f1 {
+		t.Errorf("FLOPs should be superlinear in seq: f(4096)=%v vs 2*f(2048)=%v", f2, 2*f1)
+	}
+}
+
+func TestLayerFLOPsApproxFormula(t *testing.T) {
+	// For GPT the standard estimate is 24*b*s*h^2 + 4*b*s^2*h.
+	c := MustByName("gpt3-7b")
+	b, s := 2, 2048
+	h := float64(c.Hidden)
+	bs := float64(b * s)
+	want := 24*bs*h*h + 4*bs*float64(s)*h
+	got := c.LayerFwdFLOPs(b, s)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("GPT layer FLOPs: got %v, want %v", got, want)
+	}
+}
+
+func TestWithLayers(t *testing.T) {
+	c := MustByName("gpt3-22b").WithLayers(80)
+	if c.Layers != 80 {
+		t.Errorf("WithLayers: got %d layers", c.Layers)
+	}
+	if MustByName("gpt3-22b").Layers == 80 {
+		t.Error("WithLayers mutated the catalog entry")
+	}
+}
+
+// Property: total params strictly increase with layer count.
+func TestPropertyParamsMonotoneInLayers(t *testing.T) {
+	base := MustByName("gpt3-7b")
+	f := func(a, b uint8) bool {
+		la, lb := int(a%64)+1, int(b%64)+1
+		if la > lb {
+			la, lb = lb, la
+		}
+		ca, cb := base.WithLayers(la), base.WithLayers(lb)
+		if la == lb {
+			return ca.TotalParams() == cb.TotalParams()
+		}
+		return ca.TotalParams() < cb.TotalParams()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forward FLOPs are positive and monotone in batch size.
+func TestPropertyFLOPsMonotone(t *testing.T) {
+	c := MustByName("llama-13b")
+	f := func(a, b uint8) bool {
+		ba, bb := int(a%32)+1, int(b%32)+1
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		fa, fb := c.LayerFwdFLOPs(ba, 2048), c.LayerFwdFLOPs(bb, 2048)
+		return fa > 0 && fa <= fb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package model
+
+import "fmt"
+
+// Mixture-of-Experts support implements the extension sketched in the
+// paper's future-work discussion (§8): "for workloads like Mixture of
+// Experts (MoE) with expert parallelism, where computation patterns are
+// largely predictable, data-dependent routing can be handled through
+// multiple simulations to obtain an average performance estimate."
+//
+// An MoE config replaces every block's MLP with NumExperts experts of
+// which TopK are active per token. Experts are sharded across the
+// data-parallel group (expert parallelism, DeepSpeed-MoE style), which
+// adds two all-to-all exchanges per layer per pass. The analyzer prices
+// expert compute at the capacity factor; the execution engine samples
+// per-microbatch routing imbalance around it.
+
+// CapacityFactor is the standard over-provisioning of expert token slots
+// relative to a perfectly balanced router.
+const CapacityFactor = 1.25
+
+// IsMoE reports whether the config uses mixture-of-experts blocks.
+func (c *Config) IsMoE() bool { return c.NumExperts > 0 }
+
+// DenseParamsPerLayer returns the per-block parameters excluding the
+// experts: attention, norms, and (for MoE) the router.
+func (c *Config) DenseParamsPerLayer() int64 {
+	h := int64(c.Hidden)
+	attn := 4 * h * h
+	norms := 2 * h
+	if !c.IsMoE() {
+		ffn := int64(c.FFNHidden)
+		if c.UsesGatedMLP() {
+			return attn + 3*h*ffn + norms
+		}
+		return attn + 2*h*ffn + norms
+	}
+	router := h * int64(c.NumExperts)
+	return attn + norms + router
+}
+
+// ExpertParamsPerLayer returns the total expert parameters of one block
+// (all NumExperts experts); zero for dense models.
+func (c *Config) ExpertParamsPerLayer() int64 {
+	if !c.IsMoE() {
+		return 0
+	}
+	return int64(c.NumExperts) * 2 * int64(c.Hidden) * int64(c.FFNHidden)
+}
+
+// moeConfig derives an MoE variant from a dense GPT-3-style base: the
+// MLP becomes NumExperts experts with TopK routing.
+func moeConfig(base Config, experts, topk int) Config {
+	base.Name = fmt.Sprintf("moe-%s-%de", base.Name, experts)
+	base.NumExperts = experts
+	base.TopK = topk
+	return base
+}
+
+// MoEByName returns an MoE variant "moe-<dense>-<E>e" of a catalog
+// model, e.g. MoEByName("gpt3-1.3b", 8, 2).
+func MoEByName(denseName string, experts, topk int) (Config, error) {
+	base, err := ByName(denseName)
+	if err != nil {
+		return Config{}, err
+	}
+	if experts < 2 || topk < 1 || topk > experts {
+		return Config{}, fmt.Errorf("model: invalid MoE shape E=%d topK=%d", experts, topk)
+	}
+	return moeConfig(base, experts, topk), nil
+}
+
+// MustMoEByName is MoEByName that panics on error.
+func MustMoEByName(denseName string, experts, topk int) Config {
+	c, err := MoEByName(denseName, experts, topk)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

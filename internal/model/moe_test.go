@@ -1,0 +1,69 @@
+package model
+
+import "testing"
+
+func TestMoEByName(t *testing.T) {
+	c, err := MoEByName("gpt3-1.3b", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsMoE() || c.NumExperts != 8 || c.TopK != 2 {
+		t.Fatalf("MoE fields wrong: %+v", c)
+	}
+	if c.Name != "moe-gpt3-1.3b-8e" {
+		t.Errorf("name %q", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoEByNameRejectsBadShapes(t *testing.T) {
+	if _, err := MoEByName("gpt3-1.3b", 1, 1); err == nil {
+		t.Error("E=1 accepted")
+	}
+	if _, err := MoEByName("gpt3-1.3b", 4, 5); err == nil {
+		t.Error("topK > E accepted")
+	}
+	if _, err := MoEByName("no-such-model", 8, 2); err == nil {
+		t.Error("unknown base accepted")
+	}
+}
+
+func TestMoEParamsSplit(t *testing.T) {
+	dense := MustByName("gpt3-1.3b")
+	moe := MustMoEByName("gpt3-1.3b", 8, 2)
+	// Dense models: everything shardable, no expert params.
+	if dense.ExpertParamsPerLayer() != 0 {
+		t.Error("dense model has expert params")
+	}
+	if dense.DenseParamsPerLayer() != dense.ParamsPerLayer() {
+		t.Error("dense split inconsistent")
+	}
+	// MoE: total = dense + experts; experts dominate at E=8.
+	if moe.ParamsPerLayer() != moe.DenseParamsPerLayer()+moe.ExpertParamsPerLayer() {
+		t.Error("MoE split inconsistent")
+	}
+	if moe.ExpertParamsPerLayer() <= 4*dense.ParamsPerLayer()/2 {
+		t.Errorf("8 experts should dwarf the dense block: %d vs %d",
+			moe.ExpertParamsPerLayer(), dense.ParamsPerLayer())
+	}
+	if moe.TotalParams() <= 3*dense.TotalParams() {
+		t.Errorf("8-expert MoE total %d should be >3x dense %d", moe.TotalParams(), dense.TotalParams())
+	}
+}
+
+func TestMoEFLOPsBetweenDenseAndFull(t *testing.T) {
+	// Top-2 of 8 experts: compute ~2.5x the dense MLP (capacity factor),
+	// far below the 8x a dense model of equal parameter count would cost.
+	dense := MustByName("gpt3-1.3b")
+	moe := MustMoEByName("gpt3-1.3b", 8, 2)
+	fd := dense.LayerFwdFLOPs(2, 2048)
+	fm := moe.LayerFwdFLOPs(2, 2048)
+	if fm <= fd {
+		t.Errorf("top-2 MoE FLOPs %e should exceed dense %e", fm, fd)
+	}
+	if fm >= 4*fd {
+		t.Errorf("top-2 MoE FLOPs %e should be far below 4x dense %e", fm, 4*fd)
+	}
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlaybackGPipe simulates a GPipe-style schedule: every stage runs all G
+// forwards, then all G backwards. Compared to 1F1B the makespan is
+// similar but every stage must hold all G activation stashes at the
+// forward/backward boundary, which is why Mist (like Megatron-LM)
+// schedules 1F1B; this playback exists for the scheduler ablation.
+func PlaybackGPipe(stages []MicrobatchCost, g int) (float64, error) {
+	s := len(stages)
+	if s == 0 || g <= 0 {
+		return 0, fmt.Errorf("pipeline: empty playback (stages=%d, g=%d)", s, g)
+	}
+	fwdEnd := make([][]float64, s)
+	bwdEnd := make([][]float64, s)
+	for i := range fwdEnd {
+		fwdEnd[i] = make([]float64, g)
+		bwdEnd[i] = make([]float64, g)
+	}
+	cursor := make([]float64, s)
+	// Forward wave.
+	for m := 0; m < g; m++ {
+		for i := 0; i < s; i++ {
+			dep := 0.0
+			if i > 0 {
+				dep = fwdEnd[i-1][m]
+			}
+			start := math.Max(cursor[i], dep)
+			dur := stages[i].Fwd
+			if m == 0 {
+				dur += stages[i].FirstExtra
+			}
+			cursor[i] = start + dur
+			fwdEnd[i][m] = cursor[i]
+		}
+	}
+	// Backward wave.
+	for m := 0; m < g; m++ {
+		for i := s - 1; i >= 0; i-- {
+			dep := 0.0
+			if i < s-1 {
+				dep = bwdEnd[i+1][m]
+			}
+			start := math.Max(cursor[i], dep)
+			dur := stages[i].Bwd
+			if m == g-1 {
+				dur += stages[i].LastExtra
+			}
+			cursor[i] = start + dur
+			bwdEnd[i][m] = cursor[i]
+		}
+	}
+	makespan := 0.0
+	for _, c := range cursor {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	return makespan, nil
+}
+
+// GPipeInFlight returns the peak number of in-flight activation stashes
+// per stage under GPipe: all G microbatches.
+func GPipeInFlight(g int) int { return g }

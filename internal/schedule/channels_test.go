@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestChannelsBasics(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	k := Knobs{Layers: 16, Ckpt: 8, WO: 0.25, GO: 0.5, OO: 0.75, AO: 0.5}
+	ch, err := a.Channels(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.CFwd <= 0 || ch.CBwd <= ch.CFwd {
+		t.Errorf("compute channels wrong: fwd %v bwd %v", ch.CFwd, ch.CBwd)
+	}
+	if ch.TPARFwd <= 0 {
+		t.Error("tp=2 stage must have serial all-reduce time")
+	}
+	// Offload ratios populate the copy channels.
+	if ch.H2DFwdN <= 0 || ch.D2HFwdN <= 0 || ch.D2HBwdN <= 0 {
+		t.Errorf("offload channels empty: %+v", ch)
+	}
+	// Checkpointed layers offload only the boundary: smaller D2H.
+	if ch.D2HFwdC >= ch.D2HFwdN {
+		t.Errorf("ckpt-layer fwd D2H %v should be below full-layer %v", ch.D2HFwdC, ch.D2HFwdN)
+	}
+	if ch.ModelStates <= 0 || ch.ActPerMB <= 0 || ch.StepWS <= 0 {
+		t.Errorf("memory components empty: %+v", ch)
+	}
+	if ch.MoEShare != 0 {
+		t.Error("dense model has nonzero MoE share")
+	}
+	if ch.InFlight != 1 {
+		t.Errorf("single-stage in-flight %d, want 1", ch.InFlight)
+	}
+}
+
+func TestChannelsZeROCollectives(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	shape.DP, shape.TP = 4, 1
+	k := Knobs{Layers: 16}
+	shape.ZeRO = 0
+	ch0, err := a.Channels(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch0.AGTime != 0 || ch0.RSTime != 0 || ch0.ARGradLayer <= 0 {
+		t.Errorf("plain DP channels wrong: %+v", ch0)
+	}
+	shape.ZeRO = 2
+	ch2, err := a.Channels(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch2.RSTime <= 0 || ch2.AGTime != 0 || ch2.ARGradLayer != 0 {
+		t.Errorf("ZeRO-2 channels wrong: %+v", ch2)
+	}
+	shape.ZeRO = 3
+	ch3, err := a.Channels(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch3.AGTime <= 0 || ch3.RSTime <= 0 {
+		t.Errorf("ZeRO-3 channels wrong: %+v", ch3)
+	}
+}
+
+func TestChannelsMoE(t *testing.T) {
+	moe := model.MustMoEByName("gpt3-1.3b", 8, 2)
+	a := newTestAnalyzer(t, "gpt3-1.3b", 4, true)
+	a.Model = moe
+	shape := StageShape{B: 2, DP: 4, TP: 1, NumStages: 1, StageIdx: 0, GradAccum: 2,
+		HasPre: true, HasPost: true}
+	ch, err := a.Channels(shape, Knobs{Layers: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.MoEShare <= 0 || ch.MoEShare >= 1 {
+		t.Errorf("MoE share %v outside (0,1)", ch.MoEShare)
+	}
+	// Expert parallelism adds all-to-all to the serial comm term even
+	// with tp=1.
+	if ch.TPARFwd <= 0 {
+		t.Error("MoE stage should carry all-to-all time in the serial term")
+	}
+}
+
+func TestChannelsInvalidKnobs(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	if _, err := a.Channels(baseShape(), Knobs{Layers: 4, Ckpt: 5}); err == nil {
+		t.Fatal("invalid knobs accepted")
+	}
+}
+
+func TestSerializeSlower(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	shape.DP, shape.TP, shape.ZeRO = 4, 1, 3
+	k := Knobs{Layers: 32, Ckpt: 0, AO: 0.5}
+	overlapped, err := a.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Serialize = true
+	defer func() { a.Serialize = false }()
+	serialized, err := a.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialized.Stable <= overlapped.Stable {
+		t.Errorf("serialized stable %v should exceed overlapped %v", serialized.Stable, overlapped.Stable)
+	}
+}

@@ -1,0 +1,415 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hardware"
+	"repro/internal/interference"
+	"repro/internal/model"
+	"repro/internal/opdb"
+)
+
+func newTestAnalyzer(t testing.TB, name string, gpus int, flash bool) *Analyzer {
+	t.Helper()
+	nodes, perNode, err := hardware.MeshForGPUs(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := hardware.L4Cluster(nodes, perNode)
+	db := opdb.New(cl.GPU)
+	intf := interference.Fit(interference.PCIeFluid(), 10, rand.New(rand.NewSource(1)))
+	return NewAnalyzer(model.MustByName(name), 2048, flash, cl, db, intf)
+}
+
+func baseShape() StageShape {
+	return StageShape{
+		B: 2, DP: 2, TP: 2, ZeRO: 0,
+		HasPre: true, HasPost: true,
+		NumStages: 1, StageIdx: 0, GradAccum: 4,
+	}
+}
+
+func baseKnobs() Knobs {
+	return Knobs{Layers: 32, Ckpt: 0}
+}
+
+func TestKnobsValidate(t *testing.T) {
+	if err := (Knobs{Layers: 4, Ckpt: 5}).Validate(); err == nil {
+		t.Error("ckpt > layers accepted")
+	}
+	if err := (Knobs{Layers: 4, Ckpt: 2, WO: 1.2}).Validate(); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	if err := (Knobs{Layers: 4, Ckpt: 2, AO: -0.1}).Validate(); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if err := baseKnobs().Validate(); err != nil {
+		t.Errorf("valid knobs rejected: %v", err)
+	}
+}
+
+func TestInvalidShapeRejected(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	if _, err := a.Evaluate(StageShape{B: 0, DP: 1, TP: 1}, baseKnobs()); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := a.Evaluate(StageShape{B: 1, DP: 1, TP: 1, ZeRO: 4}, baseKnobs()); err == nil {
+		t.Error("zero=4 accepted")
+	}
+	if _, err := a.Evaluate(StageShape{B: 1, DP: 1, TP: 3}, baseKnobs()); err == nil {
+		t.Error("tp=3 accepted for 32-head model")
+	}
+}
+
+func TestBasicEvaluate(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	r, err := a.Evaluate(baseShape(), baseKnobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stable <= 0 || r.PeakMem <= 0 {
+		t.Fatalf("non-positive result: %+v", r)
+	}
+	if r.Delta < 0 {
+		t.Errorf("negative delta %v", r.Delta)
+	}
+	if r.BwdTime <= r.FwdTime {
+		t.Errorf("backward %v should exceed forward %v", r.BwdTime, r.FwdTime)
+	}
+}
+
+func TestCheckpointingTradesTimeForMemory(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	none, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stable <= none.Stable {
+		t.Errorf("full ckpt stable %v should exceed no-ckpt %v (recompute cost)", full.Stable, none.Stable)
+	}
+	if full.PeakMem >= none.PeakMem {
+		t.Errorf("full ckpt peak %v should be below no-ckpt %v", full.PeakMem, none.PeakMem)
+	}
+}
+
+func TestZeROReducesMemory(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	k := Knobs{Layers: 32, Ckpt: 16}
+	var peaks [4]float64
+	for z := 0; z <= 3; z++ {
+		shape := baseShape()
+		shape.DP, shape.TP = 4, 1
+		shape.ZeRO = z
+		r, err := a.Evaluate(shape, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks[z] = r.PeakMem
+	}
+	for z := 1; z <= 3; z++ {
+		if peaks[z] >= peaks[z-1] {
+			t.Errorf("ZeRO-%d peak %v should be below ZeRO-%d peak %v", z, peaks[z], z-1, peaks[z-1])
+		}
+	}
+}
+
+func TestZeRONoOpWithoutDP(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	shape.DP, shape.TP = 1, 4
+	k := baseKnobs()
+	shape.ZeRO = 0
+	r0, err := a.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape.ZeRO = 3
+	r3, err := a.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.PeakMem != r3.PeakMem || r0.Stable != r3.Stable {
+		t.Error("ZeRO with dp=1 should be normalized to a no-op")
+	}
+}
+
+func TestOffloadingReducesMemoryAddsDelta(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	plain, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 32, OO: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oo.PeakMem >= plain.PeakMem {
+		t.Errorf("optimizer offload peak %v should be below plain %v", oo.PeakMem, plain.PeakMem)
+	}
+	if oo.Delta <= plain.Delta {
+		t.Errorf("optimizer offload delta %v should exceed plain %v (paper §5.3: aggressive OO raises first-microbatch time)", oo.Delta, plain.Delta)
+	}
+}
+
+func TestActivationOffloadReducesActMemory(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	shape.NumStages, shape.GradAccum = 4, 8 // deep pipeline: stage 0 holds 4 in-flight stashes
+	k0 := Knobs{Layers: 8, Ckpt: 0}
+	kAO := Knobs{Layers: 8, Ckpt: 0, AO: 0.9}
+	r0, err := a.Evaluate(shape, k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAO, err := a.Evaluate(shape, kAO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAO.PeakMem >= r0.PeakMem {
+		t.Errorf("AO peak %v should be below plain %v", rAO.PeakMem, r0.PeakMem)
+	}
+	if rAO.Stable < r0.Stable {
+		t.Errorf("AO stable %v should not be below plain %v", rAO.Stable, r0.Stable)
+	}
+}
+
+func TestWeightOffloadTradeoff(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-7b", 4, true)
+	shape := baseShape()
+	r0, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWO, err := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: 32, WO: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWO.PeakMem >= r0.PeakMem {
+		t.Errorf("WO peak %v should be below plain %v", rWO.PeakMem, r0.PeakMem)
+	}
+	if rWO.Stable <= r0.Stable {
+		t.Errorf("WO stable %v should exceed plain %v (PCIe refetch not fully hidden on L4)", rWO.Stable, r0.Stable)
+	}
+}
+
+func TestInFlightMicrobatchesRaiseMemory(t *testing.T) {
+	// Stage 0 of a 4-stage pipeline holds 4 in-flight activation stashes;
+	// the last stage holds 1.
+	a := newTestAnalyzer(t, "gpt3-2.7b", 8, true)
+	k := Knobs{Layers: 8, Ckpt: 0}
+	first := StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 0, GradAccum: 8}
+	last := StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 3, GradAccum: 8}
+	rf, err := a.Evaluate(first, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := a.Evaluate(last, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.PeakMem <= rl.PeakMem {
+		t.Errorf("stage 0 peak %v should exceed last stage peak %v", rf.PeakMem, rl.PeakMem)
+	}
+}
+
+func TestTPAllReduceCostFalconVsGPT(t *testing.T) {
+	// Falcon has one TP all-reduce per layer vs GPT's two, so at the same
+	// scale its TP time premium is smaller.
+	gpt := newTestAnalyzer(t, "gpt3-7b", 4, true)
+	falcon := newTestAnalyzer(t, "falcon-7b", 4, true)
+	shape := baseShape()
+	shape.DP, shape.TP = 1, 4
+	k := Knobs{Layers: 8, Ckpt: 0}
+	rg, err := gpt.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := falcon.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not directly comparable in absolute terms (different models have
+	// same dims here), but Falcon's comm share must be lower: compare
+	// overhead above pure compute.
+	if rf.Stable >= rg.Stable {
+		t.Errorf("falcon stable %v should be below gpt stable %v at tp=4 (half the all-reduces)", rf.Stable, rg.Stable)
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	ks := []Knobs{
+		{Layers: 32, Ckpt: 0},
+		{Layers: 32, Ckpt: 16, AO: 0.5},
+		{Layers: 16, Ckpt: 8, WO: 0.25, GO: 0.5, OO: 0.75, AO: 1},
+	}
+	batch, err := a.EvaluateBatch(shape, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		single, err := a.Evaluate(shape, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(single.Stable-batch[i].Stable) > 1e-12 ||
+			math.Abs(single.PeakMem-batch[i].PeakMem) > 1e-6 ||
+			math.Abs(single.Delta-batch[i].Delta) > 1e-12 {
+			t.Errorf("candidate %d: batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+}
+
+func TestPrePostAddCost(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	k := Knobs{Layers: 8, Ckpt: 0}
+	mid := StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 1, GradAccum: 4}
+	withPost := mid
+	withPost.StageIdx = 3
+	withPost.HasPost = true
+	rm, err := a.Evaluate(mid, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := a.Evaluate(withPost, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Stable <= rm.Stable {
+		t.Errorf("post stage stable %v should exceed middle stage %v (LM head)", rp.Stable, rm.Stable)
+	}
+}
+
+func TestLargerMicrobatchMoreEfficient(t *testing.T) {
+	// Per-sample time should drop with microbatch size (kernel
+	// efficiency), the effect motivating batch-size increases in §3.1.
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	k := Knobs{Layers: 32, Ckpt: 32}
+	perSample := func(b int) float64 {
+		shape := baseShape()
+		shape.B = b
+		r, err := a.Evaluate(shape, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stable / float64(b)
+	}
+	if p1, p4 := perSample(1), perSample(4); p4 >= p1 {
+		t.Errorf("per-sample time b=4 (%v) should be below b=1 (%v)", p4, p1)
+	}
+}
+
+func TestFitsBudget(t *testing.T) {
+	r := Result{PeakMem: 10e9}
+	if !r.Fits(11e9) || r.Fits(9e9) {
+		t.Error("Fits comparison wrong")
+	}
+}
+
+// Property: memory is monotone non-increasing in each offload ratio.
+func TestPropertyMemoryMonotoneInOffload(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	f := func(sel uint8, r1, r2 uint8) bool {
+		x, y := float64(r1%11)/10, float64(r2%11)/10
+		if x > y {
+			x, y = y, x
+		}
+		kLo, kHi := baseKnobs(), baseKnobs()
+		switch sel % 4 {
+		case 0:
+			kLo.WO, kHi.WO = x, y
+		case 1:
+			kLo.GO, kHi.GO = x, y
+		case 2:
+			kLo.OO, kHi.OO = x, y
+		default:
+			kLo.AO, kHi.AO = x, y
+		}
+		rLo, err1 := a.Evaluate(shape, kLo)
+		rHi, err2 := a.Evaluate(shape, kHi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rHi.PeakMem <= rLo.PeakMem+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stable time is monotone in checkpointed layers.
+func TestPropertyStableMonotoneInCkpt(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	f := func(c1, c2 uint8) bool {
+		x, y := int(c1%33), int(c2%33)
+		if x > y {
+			x, y = y, x
+		}
+		rx, err1 := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: x})
+		ry, err2 := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: y})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rx.Stable <= ry.Stable+1e-12 && ry.PeakMem <= rx.PeakMem+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results scale with layers: more layers, more time and memory.
+func TestPropertyMonotoneInLayers(t *testing.T) {
+	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
+	shape := baseShape()
+	f := func(l1, l2 uint8) bool {
+		x, y := int(l1%31)+1, int(l2%31)+1
+		if x > y {
+			x, y = y, x
+		}
+		rx, err1 := a.Evaluate(shape, Knobs{Layers: x})
+		ry, err2 := a.Evaluate(shape, Knobs{Layers: y})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rx.Stable <= ry.Stable+1e-12 && rx.PeakMem <= ry.PeakMem+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvaluateBatch(b *testing.B) {
+	a := newTestAnalyzer(b, "gpt3-7b", 8, true)
+	shape := baseShape()
+	var ks []Knobs
+	for ck := 0; ck <= 32; ck += 4 {
+		for _, ao := range []float64{0, 0.5, 1} {
+			for _, oo := range []float64{0, 0.5, 1} {
+				ks = append(ks, Knobs{Layers: 32, Ckpt: ck, AO: ao, OO: oo})
+			}
+		}
+	}
+	// Warm the trace/compile cache.
+	if _, err := a.EvaluateBatch(shape, ks); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EvaluateBatch(shape, ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

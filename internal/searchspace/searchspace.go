@@ -1,0 +1,215 @@
+// Package searchspace counts the number of distinct training
+// configurations as optimizations are added to the tuning space,
+// reproducing Figure 5 ("Growth in the number of configurations within
+// the search space as each optimization is incrementally added").
+//
+// Counting conventions (the paper plots order-of-magnitude growth; exact
+// conventions differ by a constant factor and are documented here):
+//
+//   - Parallelism: DP×TP splits of the device count (power-of-two TP),
+//     times the microbatch-size choices (gradient accumulation divisors).
+//   - +PP: sum over pipeline depths S of the compositions of L layers
+//     into S positive parts, with per-stage parallelism choices.
+//   - +ZeRO: ×4 per stage (one-hot level).
+//   - +CKPT: ×(l_i + 1) per stage (number of recomputed layers).
+//   - Each offloading ratio (+OO, +GO, +PO, +AO): ×R per stage, where R
+//     is the ratio grid resolution (the paper treats them as continuous;
+//     we count at R = 100 steps, matching the "(cont.)" annotation).
+//
+// Counts are exact big integers.
+package searchspace
+
+import (
+	"math"
+	"math/big"
+)
+
+// Options describes which optimizations are counted.
+type Options struct {
+	Devices    int  // total GPUs
+	MaxTP      int  // cap on tensor-parallel degree (node size)
+	Microbatch int  // number of microbatch/grad-accum choices
+	PP         bool // pipeline parallelism (layer partitioning)
+	ZeRO       bool
+	Ckpt       bool
+	NumRatios  int // number of continuous offloading knobs enabled (0..4)
+	Resolution int // grid resolution per continuous knob (default 100)
+}
+
+func (o Options) resolution() int {
+	if o.Resolution <= 0 {
+		return 100
+	}
+	return o.Resolution
+}
+
+// parallelismChoices counts DP×TP splits of n devices with power-of-two
+// TP capped at maxTP.
+func parallelismChoices(n, maxTP int) int {
+	count := 0
+	for tp := 1; tp <= n && tp <= maxTP; tp *= 2 {
+		if n%tp == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Count returns the number of configurations for a model with layers
+// transformer blocks under the given options.
+func Count(layers int, o Options) *big.Int {
+	if layers <= 0 || o.Devices <= 0 {
+		return big.NewInt(0)
+	}
+	maxTP := o.MaxTP
+	if maxTP <= 0 {
+		maxTP = 8
+	}
+	mb := o.Microbatch
+	if mb <= 0 {
+		mb = 8
+	}
+
+	if !o.PP {
+		// Single stage: parallelism × microbatch × per-stage extras.
+		per := perStageFactor(layers, o)
+		total := new(big.Int).Mul(big.NewInt(int64(parallelismChoices(o.Devices, maxTP))), big.NewInt(int64(mb)))
+		return total.Mul(total, per)
+	}
+
+	total := big.NewInt(0)
+	for s := 1; s <= o.Devices && s <= layers; s++ {
+		if o.Devices%s != 0 {
+			continue
+		}
+		devPer := o.Devices / s
+		pPer := big.NewInt(int64(parallelismChoices(devPer, maxTP)))
+		// Per-stage multiplier independent of the layer count.
+		fixed := new(big.Int).Set(pPer)
+		fixed.Mul(fixed, stageExtrasFixed(o))
+		// Sum over compositions of `layers` into s parts of the product
+		// of layer-dependent factors (ckpt adds l_i+1 per stage).
+		comp := compositionsWeighted(layers, s, o.Ckpt)
+		stageProd := new(big.Int).Exp(fixed, big.NewInt(int64(s)), nil)
+		term := new(big.Int).Mul(comp, stageProd)
+		total.Add(total, term)
+	}
+	return total.Mul(total, big.NewInt(int64(mb)))
+}
+
+// stageExtrasFixed returns the per-stage factor that does not depend on
+// the stage's layer count: ZeRO levels and offloading grids.
+func stageExtrasFixed(o Options) *big.Int {
+	f := big.NewInt(1)
+	if o.ZeRO {
+		f.Mul(f, big.NewInt(4))
+	}
+	if o.NumRatios > 0 {
+		r := new(big.Int).Exp(big.NewInt(int64(o.resolution())), big.NewInt(int64(o.NumRatios)), nil)
+		f.Mul(f, r)
+	}
+	return f
+}
+
+// perStageFactor is the single-stage (no PP) per-model factor.
+func perStageFactor(layers int, o Options) *big.Int {
+	f := stageExtrasFixed(o)
+	if o.Ckpt {
+		f.Mul(f, big.NewInt(int64(layers+1)))
+	}
+	return f
+}
+
+// compositionsWeighted computes, over all compositions of n into k
+// positive parts (l_1..l_k), the sum of prod_i w(l_i) where w(l) = l+1
+// when ckpt is on and 1 otherwise. Plain compositions count C(n-1, k-1)
+// falls out of the ckpt=false case.
+func compositionsWeighted(n, k int, ckpt bool) *big.Int {
+	// dp[j] = weighted count for compositions of j into the parts
+	// processed so far.
+	dp := make([]*big.Int, n+1)
+	for i := range dp {
+		dp[i] = big.NewInt(0)
+	}
+	dp[0] = big.NewInt(1)
+	for part := 0; part < k; part++ {
+		next := make([]*big.Int, n+1)
+		for i := range next {
+			next[i] = big.NewInt(0)
+		}
+		for j := 0; j <= n; j++ {
+			if dp[j].Sign() == 0 {
+				continue
+			}
+			for l := 1; j+l <= n; l++ {
+				w := int64(1)
+				if ckpt {
+					w = int64(l + 1)
+				}
+				term := new(big.Int).Mul(dp[j], big.NewInt(w))
+				next[j+l].Add(next[j+l], term)
+			}
+		}
+		dp = next
+	}
+	return dp[n]
+}
+
+// Curve identifies one line of Figure 5.
+type Curve struct {
+	Label string
+	Opts  Options
+}
+
+// Figure5Curves returns the incremental optimization ladder of Figure 5
+// for a 32-GPU mesh.
+func Figure5Curves(devices int) []Curve {
+	base := Options{Devices: devices, MaxTP: 8, Microbatch: 8}
+	withPP := base
+	withPP.PP = true
+	withZeRO := withPP
+	withZeRO.ZeRO = true
+	withCkpt := withZeRO
+	withCkpt.Ckpt = true
+	r1, r2, r3, r4 := withCkpt, withCkpt, withCkpt, withCkpt
+	r1.NumRatios = 1
+	r2.NumRatios = 2
+	r3.NumRatios = 3
+	r4.NumRatios = 4
+	return []Curve{
+		{Label: "DP+TP", Opts: base},
+		{Label: "+PP", Opts: withPP},
+		{Label: "+ZeRO", Opts: withZeRO},
+		{Label: "+CKPT", Opts: withCkpt},
+		{Label: "+OO", Opts: r1},
+		{Label: "+GO", Opts: r2},
+		{Label: "+PO", Opts: r3},
+		{Label: "+AO", Opts: r4},
+	}
+}
+
+// Log10 approximates log10 of a big integer for plotting.
+func Log10(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		return 0
+	}
+	digits := len(x.Text(10))
+	// Leading digits give the fraction.
+	s := x.Text(10)
+	lead := 0.0
+	for i := 0; i < len(s) && i < 15; i++ {
+		lead = lead*10 + float64(s[i]-'0')
+	}
+	n := len(s)
+	if n > 15 {
+		n = 15
+	}
+	return float64(digits-n) + log10f(lead)
+}
+
+func log10f(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,105 @@
+package searchspace
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelismChoices(t *testing.T) {
+	// 8 devices, maxTP 8: tp in {1,2,4,8} all divide 8 -> 4.
+	if got := parallelismChoices(8, 8); got != 4 {
+		t.Errorf("got %d, want 4", got)
+	}
+	// 6 devices: tp in {1,2} divide 6 -> 2.
+	if got := parallelismChoices(6, 8); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	if got := parallelismChoices(8, 2); got != 2 {
+		t.Errorf("maxTP cap: got %d, want 2", got)
+	}
+}
+
+func TestCompositionsPlainIsBinomial(t *testing.T) {
+	// Compositions of n into k parts = C(n-1, k-1).
+	cases := []struct{ n, k int64 }{{5, 2}, {8, 3}, {10, 4}, {16, 8}}
+	for _, c := range cases {
+		got := compositionsWeighted(int(c.n), int(c.k), false)
+		want := new(big.Int).Binomial(c.n-1, c.k-1)
+		if got.Cmp(want) != 0 {
+			t.Errorf("compositions(%d,%d) = %v, want %v", c.n, c.k, got, want)
+		}
+	}
+}
+
+func TestCompositionsWeightedSmall(t *testing.T) {
+	// n=3, k=2, weighted by (l+1): (1,2)->2*3=6, (2,1)->3*2=6 => 12.
+	got := compositionsWeighted(3, 2, true)
+	if got.Cmp(big.NewInt(12)) != 0 {
+		t.Errorf("got %v, want 12", got)
+	}
+}
+
+func TestFigure5MonotoneGrowth(t *testing.T) {
+	// Each added optimization strictly grows the count; deeper models
+	// grow every curve.
+	for _, layers := range []int{16, 32, 48, 64, 80} {
+		curves := Figure5Curves(32)
+		prev := big.NewInt(0)
+		for _, c := range curves {
+			n := Count(layers, c.Opts)
+			if n.Cmp(prev) <= 0 {
+				t.Errorf("layers=%d: curve %s count %v not above previous %v", layers, c.Label, n, prev)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestFigure5ReachesAstronomicalScale(t *testing.T) {
+	// The paper's full space reaches ~10^150 at 80 layers.
+	curves := Figure5Curves(32)
+	full := Count(80, curves[len(curves)-1].Opts)
+	lg := Log10(full)
+	if lg < 100 {
+		t.Errorf("full space at 80 layers only 10^%.0f; expected astronomically large (>10^100)", lg)
+	}
+	base := Count(80, curves[0].Opts)
+	if Log10(base) > 5 {
+		t.Errorf("DP+TP-only space should be tiny, got 10^%.0f", Log10(base))
+	}
+}
+
+func TestCountDegenerate(t *testing.T) {
+	if Count(0, Options{Devices: 8}).Sign() != 0 {
+		t.Error("zero layers should count 0")
+	}
+	if Count(8, Options{}).Sign() != 0 {
+		t.Error("zero devices should count 0")
+	}
+}
+
+func TestLog10(t *testing.T) {
+	x := new(big.Int).Exp(big.NewInt(10), big.NewInt(50), nil)
+	if lg := Log10(x); lg < 49.99 || lg > 50.01 {
+		t.Errorf("log10(10^50) = %v", lg)
+	}
+	if Log10(big.NewInt(0)) != 0 {
+		t.Error("log10(0) should be 0")
+	}
+}
+
+// Property: counts are monotone in layer count for the full space.
+func TestPropertyCountMonotoneInLayers(t *testing.T) {
+	opts := Figure5Curves(32)[3].Opts // +CKPT curve (cheap to compute)
+	f := func(a, b uint8) bool {
+		la, lb := int(a%64)+2, int(b%64)+2
+		if la > lb {
+			la, lb = lb, la
+		}
+		return Count(la, opts).Cmp(Count(lb, opts)) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,402 @@
+package symbolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		got  *Expr
+		want float64
+	}{
+		{Add(Const(1), Const(2), Const(3)), 6},
+		{Mul(Const(2), Const(3), Const(4)), 24},
+		{Div(Const(7), Const(2)), 3.5},
+		{Ceil(Const(2.1)), 3},
+		{Floor(Const(2.9)), 2},
+		{Max(Const(1), Const(5), Const(3)), 5},
+		{Min(Const(1), Const(5), Const(3)), 1},
+		{Sub(Const(10), Const(4)), 6},
+		{Neg(Const(3)), -3},
+		{CeilDiv(Const(10), Const(4)), 3},
+	}
+	for i, c := range cases {
+		v, ok := c.got.IsConst()
+		if !ok {
+			t.Fatalf("case %d: expected constant, got %s", i, c.got)
+		}
+		if v != c.want {
+			t.Errorf("case %d: got %v, want %v", i, v, c.want)
+		}
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := Var("x")
+	if e := Add(x, Const(0)); e != x {
+		t.Errorf("x+0 = %s, want x", e)
+	}
+	if e := Mul(x, Const(1)); e != x {
+		t.Errorf("x*1 = %s, want x", e)
+	}
+	if e := Mul(x, Const(0)); e != zero {
+		t.Errorf("x*0 = %s, want 0", e)
+	}
+	if e := Div(x, Const(1)); e != x {
+		t.Errorf("x/1 = %s, want x", e)
+	}
+	if e := Div(x, x); e != one {
+		t.Errorf("x/x = %s, want 1", e)
+	}
+	if e := Div(Const(0), x); e != zero {
+		t.Errorf("0/x = %s, want 0", e)
+	}
+}
+
+func TestLikeTermCollection(t *testing.T) {
+	x := Var("x")
+	e := Add(x, x, Mul(Const(2), x))
+	got := e.MustEval(Env{"x": 5})
+	if got != 20 {
+		t.Errorf("x+x+2x at x=5: got %v, want 20", got)
+	}
+	// Collection must cancel: x - x = 0.
+	if e := Sub(x, x); e != zero {
+		t.Errorf("x-x = %s, want 0", e)
+	}
+}
+
+func TestMaxAbsorption(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	e := Max(Max(x, Const(3)), Max(y, Const(7)))
+	// Flattens to Max(x, y, 7).
+	if e.op != OpMax || len(e.args) != 3 {
+		t.Fatalf("Max flattening: got %s", e)
+	}
+	v := e.MustEval(Env{"x": 1, "y": 2})
+	if v != 7 {
+		t.Errorf("eval: got %v, want 7", v)
+	}
+	// Duplicate removal.
+	if d := Max(x, x); d != x {
+		t.Errorf("Max(x,x) = %s, want x", d)
+	}
+}
+
+func TestEvalUnboundSymbol(t *testing.T) {
+	e := Add(Var("x"), Var("y"))
+	if _, err := e.Eval(Env{"x": 1}); err == nil {
+		t.Fatal("expected error for unbound symbol y")
+	}
+}
+
+func TestSubsPartial(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	e := Add(Mul(x, y), Const(2))
+	half := e.Subs(Env{"x": 3})
+	fv := half.FreeVars()
+	if len(fv) != 1 || fv[0] != "y" {
+		t.Fatalf("free vars after partial subs: %v", fv)
+	}
+	full := half.Subs(Env{"y": 4})
+	v, ok := full.IsConst()
+	if !ok || v != 14 {
+		t.Fatalf("full substitution: got %s", full)
+	}
+}
+
+func TestFreeVarsSorted(t *testing.T) {
+	e := Add(Var("zz"), Var("aa"), Mul(Var("mm"), Var("aa")))
+	fv := e.FreeVars()
+	want := []string{"aa", "mm", "zz"}
+	if len(fv) != len(want) {
+		t.Fatalf("free vars: %v", fv)
+	}
+	for i := range want {
+		if fv[i] != want[i] {
+			t.Fatalf("free vars: %v, want %v", fv, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	cases := []struct {
+		e    *Expr
+		want string
+	}{
+		{Add(x, y), "x + y"},
+		{Mul(Const(2), x), "2*x"},
+		{Div(x, y), "x/y"},
+		{Max(x, y), "max(x, y)"},
+		{Mul(Add(x, y), Const(3)), "3*(x + y)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.want, got, c.want)
+		}
+	}
+}
+
+func TestCeilEpsilonSnapping(t *testing.T) {
+	// 96/32 computed via float division can land at 3.0000000000000004;
+	// ceil must still be 3.
+	e := CeilDiv(Var("l"), Var("s"))
+	v := e.MustEval(Env{"l": 96, "s": 32})
+	if v != 3 {
+		t.Errorf("ceil(96/32) = %v, want 3", v)
+	}
+	v = e.MustEval(Env{"l": 97, "s": 32})
+	if v != 4 {
+		t.Errorf("ceil(97/32) = %v, want 4", v)
+	}
+}
+
+func TestCompileMatchesEval(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	exprs := []*Expr{
+		Add(Mul(x, y), Div(z, Const(2))),
+		Max(x, Mul(y, z), Const(5)),
+		CeilDiv(Mul(x, y), z),
+		Min(Sub(x, y), Floor(Div(z, y))),
+	}
+	prog := MustCompile(exprs, []string{"x", "y", "z"})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		env := Env{
+			"x": float64(rng.Intn(100) + 1),
+			"y": float64(rng.Intn(100) + 1),
+			"z": float64(rng.Intn(100) + 1),
+		}
+		frame := []float64{env["x"], env["y"], env["z"]}
+		got := prog.EvalFrame(frame, nil, nil)
+		for i, e := range exprs {
+			want := e.MustEval(env)
+			if math.Abs(got[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d expr %d: compiled %v, interpreted %v (%s)", trial, i, got[i], want, e)
+			}
+		}
+	}
+}
+
+func TestCompileCSE(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	shared := Mul(x, y)
+	exprs := []*Expr{Add(shared, Const(1)), Add(shared, Const(2)), Mul(Var("x"), Var("y"))}
+	prog := MustCompile(exprs, []string{"x", "y"})
+	// x*y appears three times (twice by identity, once structurally) but
+	// must be lowered once: expect insts for x, y, x*y, 1, +, 2, + = 7.
+	if len(prog.insts) != 7 {
+		t.Errorf("CSE: got %d instructions, want 7", len(prog.insts))
+	}
+}
+
+func TestCompileUnboundVar(t *testing.T) {
+	if _, err := Compile([]*Expr{Var("q")}, []string{"x"}); err == nil {
+		t.Fatal("expected compile error for unbound symbol")
+	}
+}
+
+func TestCompileDuplicateVar(t *testing.T) {
+	if _, err := Compile([]*Expr{Var("x")}, []string{"x", "x"}); err == nil {
+		t.Fatal("expected compile error for duplicate variable")
+	}
+}
+
+func TestEvalBatch(t *testing.T) {
+	x := Var("x")
+	prog := MustCompile([]*Expr{Mul(x, x)}, []string{"x"})
+	frames := [][]float64{{1}, {2}, {3}, {4}}
+	rows := prog.EvalBatch(frames)
+	for i, row := range rows {
+		want := float64((i + 1) * (i + 1))
+		if row[0] != want {
+			t.Errorf("batch row %d: got %v, want %v", i, row[0], want)
+		}
+	}
+}
+
+func TestMergeVars(t *testing.T) {
+	got := MergeVars(Add(Var("b"), Var("a")), Mul(Var("c"), Var("a")))
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 {
+		t.Fatalf("MergeVars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeVars = %v, want %v", got, want)
+		}
+	}
+}
+
+// randExpr generates a random expression over vars with bounded depth,
+// avoiding division by potentially-zero subtrees (divisors are built from
+// positive constants and variables only, which the generator keeps >= 1).
+func randExpr(rng *rand.Rand, depth int) *Expr {
+	vars := []string{"a", "b", "c"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return Const(float64(rng.Intn(20) + 1))
+		}
+		return Var(vars[rng.Intn(len(vars))])
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Add(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 1:
+		return Mul(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 2:
+		// Positive divisor: constant or variable.
+		var div *Expr
+		if rng.Intn(2) == 0 {
+			div = Const(float64(rng.Intn(9) + 1))
+		} else {
+			div = Var(vars[rng.Intn(len(vars))])
+		}
+		return Div(randExpr(rng, depth-1), div)
+	case 3:
+		return Max(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 4:
+		return Min(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	default:
+		return Ceil(randExpr(rng, depth-1))
+	}
+}
+
+// TestPropertySubsMatchesEval: for random expressions and random positive
+// integer environments, full substitution must produce a constant equal to
+// direct evaluation.
+func TestPropertySubsMatchesEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 4)
+		env := Env{
+			"a": float64(rng.Intn(50) + 1),
+			"b": float64(rng.Intn(50) + 1),
+			"c": float64(rng.Intn(50) + 1),
+		}
+		want := e.MustEval(env)
+		sub := e.Subs(env)
+		got, ok := sub.IsConst()
+		if !ok {
+			return false
+		}
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompileMatchesEval: compiled evaluation agrees with tree
+// interpretation on random expressions.
+func TestPropertyCompileMatchesEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 5)
+		prog, err := Compile([]*Expr{e}, []string{"a", "b", "c"})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			env := Env{
+				"a": float64(rng.Intn(50) + 1),
+				"b": float64(rng.Intn(50) + 1),
+				"c": float64(rng.Intn(50) + 1),
+			}
+			want := e.MustEval(env)
+			got := prog.EvalFrame([]float64{env["a"], env["b"], env["c"]}, nil, nil)[0]
+			if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySimplifyMonotone: constructors never change the value of a
+// rebuilt expression (rebuild = re-apply constructors to the same tree).
+func TestPropertySimplifyMonotone(t *testing.T) {
+	var rebuild func(e *Expr) *Expr
+	rebuild = func(e *Expr) *Expr {
+		switch e.op {
+		case OpConst, OpVar:
+			return e
+		case OpAdd:
+			args := make([]*Expr, len(e.args))
+			for i, a := range e.args {
+				args[i] = rebuild(a)
+			}
+			return Add(args...)
+		case OpMul:
+			args := make([]*Expr, len(e.args))
+			for i, a := range e.args {
+				args[i] = rebuild(a)
+			}
+			return Mul(args...)
+		case OpDiv:
+			return Div(rebuild(e.args[0]), rebuild(e.args[1]))
+		case OpCeil:
+			return Ceil(rebuild(e.args[0]))
+		case OpFloor:
+			return Floor(rebuild(e.args[0]))
+		case OpMax:
+			args := make([]*Expr, len(e.args))
+			for i, a := range e.args {
+				args[i] = rebuild(a)
+			}
+			return Max(args...)
+		default:
+			args := make([]*Expr, len(e.args))
+			for i, a := range e.args {
+				args[i] = rebuild(a)
+			}
+			return Min(args...)
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 4)
+		r := rebuild(e)
+		env := Env{
+			"a": float64(rng.Intn(20) + 1),
+			"b": float64(rng.Intn(20) + 1),
+			"c": float64(rng.Intn(20) + 1),
+		}
+		want := e.MustEval(env)
+		got := r.MustEval(env)
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	e := randExpr(rng, 8)
+	env := Env{"a": 3, "b": 5, "c": 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.MustEval(env)
+	}
+}
+
+func BenchmarkEvalCompiled(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	e := randExpr(rng, 8)
+	prog := MustCompile([]*Expr{e}, []string{"a", "b", "c"})
+	frame := []float64{3, 5, 7}
+	regs := prog.Scratch()
+	out := make([]float64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog.EvalFrame(frame, regs, out)
+	}
+}
