@@ -1,0 +1,29 @@
+GO ?= go
+# Fixed randomized-testing budget for the schedule property tests
+# (testing/quick's -quickchecks flag scales their MaxCountScale).
+QUICKCHECKS ?= 200
+
+.PHONY: ci vet build test race property bench serve
+
+ci: vet build race property ## full tier-1 + race + property gate
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: ## the tier-1 verify
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+property: ## schedule invariants, repeated with a pinned quick.Check budget
+	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
+
+bench: ## cached-vs-uncached tuner comparison
+	$(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x .
+
+serve: ## run the tuning service locally
+	$(GO) run ./cmd/mistserve -addr :8080

@@ -1,0 +1,46 @@
+// Command mistserve runs the Mist tuning service: a concurrent HTTP/JSON
+// API over the auto-tuner and the execution engine, with a plan cache
+// keyed by (workload, cluster, space) so repeated requests are answered
+// instantly. It shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight tuning requests.
+//
+// Example session:
+//
+//	mistserve -addr :8080 &
+//	curl -s localhost:8080/tune -d '{"model":"gpt3-2.7b","gpus":4,"batch":32}'
+//	curl -s localhost:8080/simulate -d '{"model":"gpt3-2.7b","gpus":4,"batch":32}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mistserve: ")
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		grace = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("serving on %s (POST /tune, POST /simulate, GET /healthz, GET /stats)", *addr)
+	err := serve.New().ListenAndServe(ctx, *addr, *grace)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Println("shut down cleanly")
+}

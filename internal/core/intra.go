@@ -1,10 +1,18 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/schedule"
 )
+
+// intraSem bounds the extra goroutines spawned by intra-stage pricing
+// across every concurrent tuner in the process; callers price inline
+// regardless, so exhaustion degrades to sequential work, never blocks.
+var intraSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 // candidate is one priced intra-stage configuration: a complete stage
 // shape plus knobs, with its stable time t, delta d, and peak memory.
@@ -78,33 +86,89 @@ func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate
 		}
 	}
 
-	var out []candidate
-	evaluated := 0
+	// Enumerate the stage shapes, then price them on a bounded worker
+	// pool (the intra-stage counterpart of Tune's (S, G) fan-out). The
+	// per-shape candidate slices are reassembled in enumeration order so
+	// the search stays deterministic regardless of scheduling.
+	var shapes []schedule.StageShape
 	for _, pt := range t.parallelisms(devPerStage, g) {
 		for _, zero := range t.Space.zeroLevels() {
 			if zero > 0 && pt.dp == 1 {
 				continue // ZeRO is a no-op without data parallelism
 			}
-			shape := schedule.StageShape{
+			shapes = append(shapes, schedule.StageShape{
 				B: pt.b, DP: pt.dp, TP: pt.tp, ZeRO: zero,
 				HasPre: stageIdx == 0, HasPost: stageIdx == s-1,
 				NumStages: s, StageIdx: stageIdx, GradAccum: g,
-			}
-			results, err := t.An.EvaluateBatch(shape, knobs)
-			if err != nil {
-				return nil, evaluated, err
-			}
-			evaluated += len(results)
-			for i, r := range results {
-				if !r.Fits(budget) {
-					continue
-				}
-				out = append(out, candidate{
-					Shape: shape, Knobs: knobs[i],
-					T: r.Stable, D: r.Delta, Mem: r.PeakMem,
-				})
-			}
+			})
 		}
+	}
+
+	type shapeOut struct {
+		cands []candidate
+		err   error
+	}
+	outs := make([]shapeOut, len(shapes))
+	ev := t.evaluator()
+	price := func(i int) {
+		shape := shapes[i]
+		results, err := ev.EvaluateBatch(shape, knobs)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		for j, r := range results {
+			if !r.Fits(budget) {
+				continue
+			}
+			outs[i].cands = append(outs[i].cands, candidate{
+				Shape: shape, Knobs: knobs[j],
+				T: r.Stable, D: r.Delta, Mem: r.PeakMem,
+			})
+		}
+	}
+
+	// Jobs are claimed off an atomic counter. The caller always prices
+	// inline (progress without any token), and extra workers spawn only
+	// while the process-wide intraSem has capacity — intraStage runs
+	// nested inside Tune's (S, G) worker pool, so per-call GOMAXPROCS
+	// pools would multiply to ~P^2 runnable goroutines.
+	var next atomic.Int64
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(shapes) {
+				return
+			}
+			price(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for n := 1; n < len(shapes); n++ {
+		select {
+		case intraSem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-intraSem }()
+				drain()
+			}()
+		default:
+			break spawn // semaphore exhausted; caller drains inline
+		}
+	}
+	drain()
+	wg.Wait()
+
+	var out []candidate
+	evaluated := 0
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, evaluated, outs[i].err
+		}
+		evaluated += len(knobs)
+		out = append(out, outs[i].cands...)
 	}
 	return out, evaluated, nil
 }

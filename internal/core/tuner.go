@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evalcache"
 	"repro/internal/hardware"
 	"repro/internal/interference"
 	"repro/internal/opdb"
@@ -41,6 +42,24 @@ type Tuner struct {
 	// Exhaustive switches the inter-stage solver to branch-and-bound
 	// enumeration (used for cross-checks).
 	Exhaustive bool
+
+	// NoCache disables evaluation memoization (benchmarking the
+	// uncached path; plans are identical either way).
+	NoCache bool
+
+	// cache memoizes analyzer evaluations across stages, layer counts
+	// and (S, G) pairs of this tuner. Built by New/NewWithAnalyzer; a
+	// zero-value Tuner falls back to the bare analyzer.
+	cache *evalcache.Cache
+}
+
+// evaluator returns the pricing backend for this search: the memoizing
+// cache when available, the bare analyzer otherwise.
+func (t *Tuner) evaluator() evalcache.Evaluator {
+	if t.NoCache || t.cache == nil {
+		return t.An
+	}
+	return t.cache
 }
 
 // Result reports the tuned plan and tuning statistics.
@@ -51,6 +70,24 @@ type Result struct {
 	Candidates     int     // intra-stage configurations priced
 	SGPairs        int     // (pipeline depth, grad accum) pairs explored
 	Elapsed        time.Duration
+
+	// Evaluation-cache traffic during this search: hits are candidate
+	// pricings answered from the memo store, misses went to the symbolic
+	// analyzer. On an error-free search with the cache enabled,
+	// Hits + Misses == Candidates; (S, G) pairs aborted by an evaluator
+	// error drop their partial counts from Candidates but not from the
+	// cache counters, so the stats can exceed Candidates slightly there.
+	EvalCacheHits   uint64
+	EvalCacheMisses uint64
+}
+
+// CacheHitRate returns the fraction of candidate evaluations served from
+// the memo store (0 when caching was disabled).
+func (r *Result) CacheHitRate() float64 {
+	if t := r.EvalCacheHits + r.EvalCacheMisses; t > 0 {
+		return float64(r.EvalCacheHits) / float64(t)
+	}
+	return 0
 }
 
 // New builds a tuner with a freshly calibrated analyzer for the cluster
@@ -70,14 +107,16 @@ func New(w plan.Workload, cl *hardware.Cluster, space Space) (*Tuner, error) {
 	intf := interference.Fit(fluid, 12, rand.New(rand.NewSource(42)))
 	an := schedule.NewAnalyzer(w.Model, w.Seq, w.Flash, cl, opdb.New(cl.GPU), intf)
 	an.Serialize = !space.OverlapAware
-	return &Tuner{W: w, Cluster: cl, An: an, Space: space}, nil
+	return &Tuner{W: w, Cluster: cl, An: an, Space: space, cache: evalcache.New(an)}, nil
 }
 
 // NewWithAnalyzer builds a tuner reusing an existing analyzer (the
 // analyzer's Serialize flag is overridden to match the space).
 func NewWithAnalyzer(w plan.Workload, cl *hardware.Cluster, an *schedule.Analyzer, space Space) *Tuner {
 	an.Serialize = !space.OverlapAware
-	return &Tuner{W: w, Cluster: cl, An: an, Space: space}
+	// The memo store keys on (shape, knobs) only, so it must be private
+	// to this (analyzer, Serialize) pairing — never shared across tuners.
+	return &Tuner{W: w, Cluster: cl, An: an, Space: space, cache: evalcache.New(an)}
 }
 
 // ErrNoFeasiblePlan is returned when every configuration in the space
@@ -91,6 +130,10 @@ var ErrNoFeasiblePlan = errors.New("core: no feasible plan in search space (OOM 
 func (t *Tuner) Tune() (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	var cacheBefore evalcache.Stats
+	if t.cache != nil {
+		cacheBefore = t.cache.Stats()
+	}
 	type sg struct{ s, g, devPer int }
 	var pairs []sg
 	for _, s := range t.stageCounts() {
@@ -154,6 +197,11 @@ func (t *Tuner) Tune() (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if t.cache != nil && !t.NoCache {
+		after := t.cache.Stats()
+		res.EvalCacheHits = after.Hits - cacheBefore.Hits
+		res.EvalCacheMisses = after.Misses - cacheBefore.Misses
+	}
 	if best == nil {
 		return nil, ErrNoFeasiblePlan
 	}
@@ -283,9 +331,13 @@ func (t *Tuner) tuneUniform(s, g, devPer int) (*interSolution, int, error) {
 			shape.HasPre = i == 0
 			shape.HasPost = i == s-1
 			shape.StageIdx = i
-			r, err := t.An.Evaluate(shape, c0.Knobs)
+			r, err := t.evaluator().Evaluate(shape, c0.Knobs)
+			if err != nil {
+				feasible = false
+				break
+			}
 			evaluated++
-			if err != nil || !r.Fits(budget) {
+			if !r.Fits(budget) {
 				feasible = false
 				break
 			}
@@ -370,7 +422,7 @@ func (t *Tuner) PredictPlan(p *plan.Plan) (float64, error) {
 	maxT, sumT := 0.0, 0.0
 	dm, prefix := 0.0, 0.0
 	for _, st := range p.Stages {
-		r, err := t.An.Evaluate(st.Shape, st.Knobs)
+		r, err := t.evaluator().Evaluate(st.Shape, st.Knobs)
 		if err != nil {
 			return 0, err
 		}

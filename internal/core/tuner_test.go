@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/hardware"
@@ -261,5 +262,89 @@ func TestGradAccumsAreDivisors(t *testing.T) {
 		if 12%g != 0 {
 			t.Errorf("G=%d does not divide 12", g)
 		}
+	}
+}
+
+// The memoizing evaluation cache must be a pure optimization: the tuner
+// picks byte-identical plans with it on or off, while pricing
+// measurably fewer unique points at the analyzer.
+func TestCacheOnOffIdenticalPlans(t *testing.T) {
+	w := testWorkload("gpt3-2.7b", 8)
+	nodes, perNode, _ := hardware.MeshForGPUs(4)
+	cl := hardware.L4Cluster(nodes, perNode)
+
+	cached, err := New(w, cl, MistSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := New(w, cl, MistSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached.NoCache = true
+
+	rc, err := cached.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := uncached.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(rc.Plan, ru.Plan) {
+		t.Errorf("cached plan differs from uncached:\n%v\nvs\n%v", rc.Plan, ru.Plan)
+	}
+	if rc.Predicted != ru.Predicted {
+		t.Errorf("cached objective %v != uncached %v", rc.Predicted, ru.Predicted)
+	}
+	if rc.Candidates != ru.Candidates {
+		t.Errorf("candidate count %d != uncached %d", rc.Candidates, ru.Candidates)
+	}
+
+	if rc.EvalCacheHits == 0 {
+		t.Error("cache recorded no hits over a full Mist-space search")
+	}
+	if rc.EvalCacheMisses == 0 || rc.EvalCacheMisses >= uint64(rc.Candidates) {
+		t.Errorf("misses %d should be positive and below the %d candidates priced",
+			rc.EvalCacheMisses, rc.Candidates)
+	}
+	if got := rc.EvalCacheHits + rc.EvalCacheMisses; got != uint64(rc.Candidates) {
+		t.Errorf("hits+misses = %d, want the %d candidates priced", got, rc.Candidates)
+	}
+	if hr := rc.CacheHitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("hit rate %v outside (0, 1)", hr)
+	}
+	if ru.EvalCacheHits != 0 || ru.EvalCacheMisses != 0 {
+		t.Errorf("uncached run reported cache traffic: %d/%d", ru.EvalCacheHits, ru.EvalCacheMisses)
+	}
+}
+
+// Repeating a search on the same tuner answers (almost) everything from
+// the memo store: the second run's misses drop to zero.
+func TestCacheWarmSecondSearch(t *testing.T) {
+	w := testWorkload("gpt3-1.3b", 8)
+	nodes, perNode, _ := hardware.MeshForGPUs(2)
+	cl := hardware.L4Cluster(nodes, perNode)
+	tn, err := New(w, cl, DeepSpeedSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Plan, r2.Plan) {
+		t.Error("warm search picked a different plan")
+	}
+	if r2.EvalCacheMisses != 0 {
+		t.Errorf("warm search still missed %d times", r2.EvalCacheMisses)
+	}
+	if r2.EvalCacheHits != uint64(r2.Candidates) {
+		t.Errorf("warm search hits %d != candidates %d", r2.EvalCacheHits, r2.Candidates)
 	}
 }

@@ -1,0 +1,253 @@
+// Package evalcache memoizes schedule.Analyzer evaluations behind a
+// concurrency-safe, sharded store. The hierarchical tuner prices the
+// same (shape, knobs) point many times — middle pipeline stages with
+// equal in-flight depth enumerate identical candidate grids, the uniform
+// heuristic replicates one configuration across every stage, and
+// heterogeneous device search re-sweeps the same meshes per stage — so a
+// shared cache converts that repetition into lookups.
+//
+// Keys are *canonical*: two shapes that provably evaluate identically
+// map to the same entry. The analyzer's result depends on the raw
+// StageShape only through
+//
+//   - (B, DP, TP) and the ZeRO level — with ZeRO normalized to 0 when
+//     DP == 1, where sharding is a no-op (the analyzer applies the same
+//     normalization, and every collective over a group of one costs 0);
+//   - HasPre / HasPost;
+//   - whether the pipeline is deeper than one stage (boundary p2p);
+//   - the 1F1B in-flight microbatch count min(GradAccum,
+//     NumStages-StageIdx) clamped to >= 1, which is the only way
+//     NumStages, StageIdx and GradAccum enter the stage model.
+//
+// The cache is scoped to one analyzer configuration (model, sequence,
+// cluster, interference fit, Serialize flag): callers must not share a
+// Cache across evaluators with different contexts.
+package evalcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/schedule"
+)
+
+// Evaluator is the pricing interface the cache wraps and implements;
+// *schedule.Analyzer satisfies it.
+type Evaluator interface {
+	Evaluate(schedule.StageShape, schedule.Knobs) (schedule.Result, error)
+	EvaluateBatch(schedule.StageShape, []schedule.Knobs) ([]schedule.Result, error)
+}
+
+// Key is the canonical identity of one evaluation point. Comparable, so
+// it can index the shard maps directly.
+type Key struct {
+	B, DP, TP, ZeRO int
+	HasPre, HasPost bool
+	Pipelined       bool // NumStages > 1: boundary p2p transfers engaged
+	InFlight        int  // 1F1B in-flight microbatches at this stage
+	Layers, Ckpt    int
+	WO, GO, OO, AO  float64
+}
+
+// CanonicalKey derives the canonical cache key for one (shape, knobs)
+// point. Shapes that differ only in trace-irrelevant ways (ZeRO level
+// under DP=1; stage position / depth / accumulation combinations with
+// the same in-flight count) collapse to the same key.
+func CanonicalKey(s schedule.StageShape, k schedule.Knobs) Key {
+	return shapeKey(s).withKnobs(k)
+}
+
+// shapeKey canonicalizes the shape-dependent key fields; batch pricing
+// derives it once and stamps per-candidate knobs with withKnobs.
+func shapeKey(s schedule.StageShape) Key {
+	zero := s.ZeRO
+	if s.DP == 1 {
+		zero = 0
+	}
+	inFlight := s.NumStages - s.StageIdx
+	if inFlight > s.GradAccum {
+		inFlight = s.GradAccum
+	}
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	return Key{
+		B: s.B, DP: s.DP, TP: s.TP, ZeRO: zero,
+		HasPre: s.HasPre, HasPost: s.HasPost,
+		Pipelined: s.NumStages > 1,
+		InFlight:  inFlight,
+	}
+}
+
+func (key Key) withKnobs(k schedule.Knobs) Key {
+	key.Layers, key.Ckpt = k.Layers, k.Ckpt
+	key.WO, key.GO, key.OO, key.AO = k.WO, k.GO, k.OO, k.AO
+	return key
+}
+
+// numShards bounds lock contention under the tuner's nested worker
+// pools; power of two so the hash mixes cheaply.
+const numShards = 32
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[Key]schedule.Result
+}
+
+// Cache is a memoizing, concurrency-safe Evaluator decorator.
+type Cache struct {
+	ev     Evaluator
+	shards [numShards]shard
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New wraps an evaluator with a fresh cache.
+func New(ev Evaluator) *Cache {
+	c := &Cache{ev: ev}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]schedule.Result)
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the hit/miss counters.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len reports the number of distinct cached points (for tests).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// shardFor hashes a key onto its shard (FNV-1a over the key's words).
+func (c *Cache) shardFor(k Key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(k.B))
+	mix(uint64(k.DP)<<32 | uint64(k.TP))
+	mix(uint64(k.ZeRO)<<32 | uint64(k.InFlight))
+	var flags uint64
+	if k.HasPre {
+		flags |= 1
+	}
+	if k.HasPost {
+		flags |= 2
+	}
+	if k.Pipelined {
+		flags |= 4
+	}
+	mix(flags)
+	mix(uint64(k.Layers)<<32 | uint64(k.Ckpt))
+	mix(uint64(k.WO*255) ^ uint64(k.GO*255)<<16 ^ uint64(k.OO*255)<<32 ^ uint64(k.AO*255)<<48)
+	return &c.shards[h%numShards]
+}
+
+func (c *Cache) lookup(k Key) (schedule.Result, bool) {
+	sh := c.shardFor(k)
+	sh.mu.RLock()
+	r, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return r, ok
+}
+
+func (c *Cache) store(k Key, r schedule.Result) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	sh.m[k] = r
+	sh.mu.Unlock()
+}
+
+// Evaluate prices one candidate, consulting the cache first. Errors are
+// not cached: an invalid point re-queries the analyzer (cheap — it fails
+// validation before any pricing).
+func (c *Cache) Evaluate(shape schedule.StageShape, k schedule.Knobs) (schedule.Result, error) {
+	key := CanonicalKey(shape, k)
+	if r, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return r, nil
+	}
+	r, err := c.ev.Evaluate(shape, k)
+	if err != nil {
+		return schedule.Result{}, err
+	}
+	c.misses.Add(1)
+	c.store(key, r)
+	return r, nil
+}
+
+// EvaluateBatch prices many candidates under one shape, forwarding only
+// the cache misses to the underlying evaluator in a single batch (so the
+// analyzer's compiled-program sweep still amortizes across them), then
+// filling the hits from the store.
+func (c *Cache) EvaluateBatch(shape schedule.StageShape, ks []schedule.Knobs) ([]schedule.Result, error) {
+	results := make([]schedule.Result, len(ks))
+	keys := make([]Key, len(ks))
+	base := shapeKey(shape)
+	var missIdx []int
+	seen := map[Key]int{} // canonical duplicates within the batch price once
+	var dupIdx [][2]int   // (duplicate position, first-miss position)
+	for i, k := range ks {
+		keys[i] = base.withKnobs(k)
+		if r, ok := c.lookup(keys[i]); ok {
+			results[i] = r
+			continue
+		}
+		if first, ok := seen[keys[i]]; ok {
+			dupIdx = append(dupIdx, [2]int{i, first})
+			continue
+		}
+		seen[keys[i]] = i
+		missIdx = append(missIdx, i)
+	}
+	c.hits.Add(uint64(len(ks) - len(missIdx) - len(dupIdx)))
+	if len(missIdx) == 0 {
+		return results, nil
+	}
+	missKnobs := make([]schedule.Knobs, len(missIdx))
+	for j, i := range missIdx {
+		missKnobs[j] = ks[i]
+	}
+	priced, err := c.ev.EvaluateBatch(shape, missKnobs)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(uint64(len(missIdx)))
+	c.hits.Add(uint64(len(dupIdx)))
+	for j, i := range missIdx {
+		results[i] = priced[j]
+		c.store(keys[i], priced[j])
+	}
+	for _, d := range dupIdx {
+		results[d[0]] = results[d[1]]
+	}
+	return results, nil
+}

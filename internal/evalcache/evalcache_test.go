@@ -1,0 +1,287 @@
+package evalcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/interference"
+	"repro/internal/model"
+	"repro/internal/opdb"
+	"repro/internal/schedule"
+)
+
+func newTestAnalyzer(t testing.TB) *schedule.Analyzer {
+	t.Helper()
+	nodes, perNode, err := hardware.MeshForGPUs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := hardware.L4Cluster(nodes, perNode)
+	db := opdb.New(cl.GPU)
+	intf := interference.Fit(interference.PCIeFluid(), 10, rand.New(rand.NewSource(1)))
+	return schedule.NewAnalyzer(model.MustByName("gpt3-2.7b"), 2048, true, cl, db, intf)
+}
+
+func testShape() schedule.StageShape {
+	return schedule.StageShape{
+		B: 2, DP: 2, TP: 2, ZeRO: 0,
+		HasPre: true, HasPost: true,
+		NumStages: 1, StageIdx: 0, GradAccum: 4,
+	}
+}
+
+// countingEvaluator counts calls through to the wrapped evaluator.
+type countingEvaluator struct {
+	ev      Evaluator
+	singles atomic.Int64
+	batched atomic.Int64 // total knob points priced via EvaluateBatch
+}
+
+func (ce *countingEvaluator) Evaluate(s schedule.StageShape, k schedule.Knobs) (schedule.Result, error) {
+	ce.singles.Add(1)
+	return ce.ev.Evaluate(s, k)
+}
+
+func (ce *countingEvaluator) EvaluateBatch(s schedule.StageShape, ks []schedule.Knobs) ([]schedule.Result, error) {
+	ce.batched.Add(int64(len(ks)))
+	return ce.ev.EvaluateBatch(s, ks)
+}
+
+func TestCacheHitReturnsIdenticalResult(t *testing.T) {
+	an := newTestAnalyzer(t)
+	ce := &countingEvaluator{ev: an}
+	c := New(ce)
+	shape := testShape()
+	k := schedule.Knobs{Layers: 32, Ckpt: 16, AO: 0.5}
+
+	r1, err := c.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("cached result %+v != first result %+v", r2, r1)
+	}
+	direct, err := an.Evaluate(shape, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != direct {
+		t.Errorf("cached result %+v != direct analyzer result %+v", r2, direct)
+	}
+	if got := ce.singles.Load(); got != 1 {
+		t.Errorf("underlying evaluator called %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss", st)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", hr)
+	}
+}
+
+// Canonicalization: shapes built differently but provably equivalent
+// must share one cache entry.
+func TestCanonicalKeyCollapsesEquivalentShapes(t *testing.T) {
+	k := schedule.Knobs{Layers: 8, Ckpt: 4, AO: 0.5}
+
+	// ZeRO is a no-op without data parallelism: all levels collapse.
+	noDP := schedule.StageShape{B: 2, DP: 1, TP: 4, NumStages: 1, StageIdx: 0, GradAccum: 4}
+	for z := 0; z <= 3; z++ {
+		s := noDP
+		s.ZeRO = z
+		if got, want := CanonicalKey(s, k), CanonicalKey(noDP, k); got != want {
+			t.Errorf("ZeRO=%d under DP=1: key %+v != %+v", z, got, want)
+		}
+	}
+	withDP := noDP
+	withDP.DP, withDP.TP = 2, 2
+	zero2 := withDP
+	zero2.ZeRO = 2
+	if CanonicalKey(withDP, k) == CanonicalKey(zero2, k) {
+		t.Error("ZeRO levels under DP>1 must NOT collapse")
+	}
+
+	// (NumStages, StageIdx, GradAccum) enter only via the in-flight count
+	// and the pipelined flag: stage 1 of 4 with G=2 holds min(2, 3) = 2
+	// in-flight microbatches, same as stage 2 of 4 (min(2, 2) = 2) and as
+	// stage 6 of 8 with G=2.
+	a := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 1, GradAccum: 2}
+	b := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 2, GradAccum: 2}
+	d := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 8, StageIdx: 6, GradAccum: 2}
+	if CanonicalKey(a, k) != CanonicalKey(b, k) || CanonicalKey(a, k) != CanonicalKey(d, k) {
+		t.Error("equal in-flight pipelined stages should share a key")
+	}
+	// ... but a single-stage shape (no p2p) must not match a pipelined one.
+	single := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 1, StageIdx: 0, GradAccum: 2}
+	deep := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 2, StageIdx: 1, GradAccum: 1}
+	if CanonicalKey(single, k) == CanonicalKey(deep, k) {
+		t.Error("single-stage and pipelined shapes must not collapse")
+	}
+	// Different knobs never collapse.
+	k2 := k
+	k2.WO = 0.5
+	if CanonicalKey(a, k) == CanonicalKey(a, k2) {
+		t.Error("different knobs should produce different keys")
+	}
+}
+
+// The cached result for a canonically-equal but differently-built shape
+// must be bitwise identical to evaluating that shape directly (the
+// canonicalization must be semantics-preserving, not just convenient).
+func TestCanonicalShapesEvaluateIdentically(t *testing.T) {
+	an := newTestAnalyzer(t)
+	k := schedule.Knobs{Layers: 8, Ckpt: 4, OO: 0.5}
+	a := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 1, GradAccum: 2}
+	b := schedule.StageShape{B: 2, DP: 1, TP: 2, NumStages: 4, StageIdx: 2, GradAccum: 2}
+	ra, err := an.Evaluate(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := an.Evaluate(b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Fatalf("canonically-equal shapes price differently: %+v vs %+v", ra, rb)
+	}
+	zeroA := schedule.StageShape{B: 2, DP: 1, TP: 4, ZeRO: 0, NumStages: 1, GradAccum: 4}
+	zeroB := zeroA
+	zeroB.ZeRO = 3
+	r0, err := an.Evaluate(zeroA, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := an.Evaluate(zeroB, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != r3 {
+		t.Fatalf("ZeRO 0 vs 3 under DP=1 price differently: %+v vs %+v", r0, r3)
+	}
+}
+
+func TestEvaluateBatchPartialHitsAndDuplicates(t *testing.T) {
+	an := newTestAnalyzer(t)
+	ce := &countingEvaluator{ev: an}
+	c := New(ce)
+	shape := testShape()
+
+	warm := []schedule.Knobs{
+		{Layers: 32, Ckpt: 0},
+		{Layers: 32, Ckpt: 8},
+	}
+	if _, err := c.EvaluateBatch(shape, warm); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.batched.Load(); got != 2 {
+		t.Fatalf("warmup priced %d points, want 2", got)
+	}
+
+	// Batch mixing cached points, fresh points, and an in-batch duplicate.
+	mixed := []schedule.Knobs{
+		{Layers: 32, Ckpt: 0},  // hit
+		{Layers: 32, Ckpt: 16}, // miss
+		{Layers: 32, Ckpt: 8},  // hit
+		{Layers: 32, Ckpt: 16}, // duplicate of the miss above
+		{Layers: 32, Ckpt: 24}, // miss
+	}
+	rs, err := c.EvaluateBatch(shape, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.batched.Load(); got != 4 { // +2 new unique points only
+		t.Errorf("underlying evaluator priced %d points total, want 4", got)
+	}
+	for i, k := range mixed {
+		direct, err := an.Evaluate(shape, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[i] != direct {
+			t.Errorf("batch[%d] %+v != direct %+v", i, rs[i], direct)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 4 {
+		t.Errorf("stats %+v, want 3 hits / 4 misses", st)
+	}
+	if c.Len() != 4 {
+		t.Errorf("cache holds %d entries, want 4", c.Len())
+	}
+}
+
+func TestEvaluateErrorNotCached(t *testing.T) {
+	an := newTestAnalyzer(t)
+	c := New(an)
+	bad := schedule.Knobs{Layers: 4, Ckpt: 9}
+	if _, err := c.Evaluate(testShape(), bad); err == nil {
+		t.Fatal("invalid knobs accepted")
+	}
+	if st := c.Stats(); st.Misses != 0 || c.Len() != 0 {
+		t.Errorf("error was cached: stats %+v len %d", st, c.Len())
+	}
+	if _, err := c.EvaluateBatch(testShape(), []schedule.Knobs{bad}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+}
+
+// Concurrent mixed readers/writers over a shared cache; run under
+// `go test -race` this is the data-race check the tuner relies on.
+func TestConcurrentAccess(t *testing.T) {
+	an := newTestAnalyzer(t)
+	c := New(an)
+	shape := testShape()
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for i := 0; i < iters; i++ {
+				k := schedule.Knobs{
+					Layers: 32,
+					Ckpt:   rng.Intn(5) * 8,
+					AO:     float64(rng.Intn(3)) / 2,
+				}
+				if rng.Intn(2) == 0 {
+					if _, err := c.Evaluate(shape, k); err != nil {
+						errs <- fmt.Errorf("worker %d: %w", seed, err)
+						return
+					}
+				} else {
+					if _, err := c.EvaluateBatch(shape, []schedule.Knobs{k, {Layers: 32, Ckpt: 8}}); err != nil {
+						errs <- fmt.Errorf("worker %d batch: %w", seed, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// 5 ckpt values x 3 AO values, plus the fixed batch filler (ckpt=8
+	// AO=0 is already in the grid): at most 15 distinct points.
+	if c.Len() > 15 {
+		t.Errorf("cache holds %d entries, want <= 15", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+}

@@ -435,8 +435,17 @@ func (a *Analyzer) build(shape StageShape) *stageProgram {
 	actTotal := symbolic.Mul(c(float64(inFlight)), actPerMB)
 
 	// Recompute working set: a checkpointed layer rematerializes its full
-	// stash during backward. Engaged whenever ckpt >= 1; Min(ck,1) gates it.
-	recompute := symbolic.Mul(symbolic.Min(ck, one), stash)
+	// stash during backward — but the backward-liveness peak (bwdTrans)
+	// already counts the full stash of the layer currently in backward,
+	// checkpointed or not. The only footprint recomputation can add on top
+	// is a recompute-forward liveness peak exceeding the backward one.
+	// Charging a whole extra stash here would double-count the
+	// rematerialized tensors and make ckpt=0 -> ckpt=1 *raise* PeakMem by
+	// one boundary tensor, violating the monotone-in-ckpt invariant
+	// (checkpointing strictly shrinks the per-microbatch retained stash).
+	// Engaged whenever ckpt >= 1; Min(ck,1) gates it.
+	recompute := symbolic.Mul(symbolic.Min(ck, one),
+		c(math.Max(0, sp.fwdTransVal-sp.bwdTransVal)))
 
 	peakFwd := symbolic.Add(modelStates, wTransient, actTotal, fwdTrans)
 	if shape.HasPost && postPeakBwd != nil {

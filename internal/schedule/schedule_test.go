@@ -1,6 +1,8 @@
 package schedule
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,6 +13,18 @@ import (
 	"repro/internal/model"
 	"repro/internal/opdb"
 )
+
+// describeCheckError re-decodes a quick.CheckError's raw generator inputs
+// with the same arithmetic the property applies, so a CI log shows the
+// failing knob values (and evaluated results) instead of opaque bytes
+// like "#62: failed on input 0xa5, 0xe8".
+func describeCheckError(err error, decode func(in []any) string) error {
+	var ce *quick.CheckError
+	if errors.As(err, &ce) {
+		return fmt.Errorf("%w — counterexample: %s", err, decode(ce.In))
+	}
+	return err
+}
 
 func newTestAnalyzer(t testing.TB, name string, gpus int, flash bool) *Analyzer {
 	t.Helper()
@@ -320,12 +334,13 @@ func TestFitsBudget(t *testing.T) {
 func TestPropertyMemoryMonotoneInOffload(t *testing.T) {
 	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
 	shape := baseShape()
-	f := func(sel uint8, r1, r2 uint8) bool {
+	knobNames := [4]string{"WO", "GO", "OO", "AO"}
+	decodeOffload := func(sel, r1, r2 uint8) (name string, kLo, kHi Knobs) {
 		x, y := float64(r1%11)/10, float64(r2%11)/10
 		if x > y {
 			x, y = y, x
 		}
-		kLo, kHi := baseKnobs(), baseKnobs()
+		kLo, kHi = baseKnobs(), baseKnobs()
 		switch sel % 4 {
 		case 0:
 			kLo.WO, kHi.WO = x, y
@@ -336,6 +351,10 @@ func TestPropertyMemoryMonotoneInOffload(t *testing.T) {
 		default:
 			kLo.AO, kHi.AO = x, y
 		}
+		return knobNames[sel%4], kLo, kHi
+	}
+	f := func(sel uint8, r1, r2 uint8) bool {
+		_, kLo, kHi := decodeOffload(sel, r1, r2)
 		rLo, err1 := a.Evaluate(shape, kLo)
 		rHi, err2 := a.Evaluate(shape, kHi)
 		if err1 != nil || err2 != nil {
@@ -343,8 +362,14 @@ func TestPropertyMemoryMonotoneInOffload(t *testing.T) {
 		}
 		return rHi.PeakMem <= rLo.PeakMem+1e-6
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
-		t.Error(err)
+	if err := quick.Check(f, &quick.Config{MaxCountScale: 1.2}); err != nil {
+		t.Error(describeCheckError(err, func(in []any) string {
+			name, kLo, kHi := decodeOffload(in[0].(uint8), in[1].(uint8), in[2].(uint8))
+			rLo, _ := a.Evaluate(shape, kLo)
+			rHi, _ := a.Evaluate(shape, kHi)
+			return fmt.Sprintf("%s lo=%+v hi=%+v -> PeakMem lo=%.6g hi=%.6g",
+				name, kLo, kHi, rLo.PeakMem, rHi.PeakMem)
+		}))
 	}
 }
 
@@ -352,11 +377,15 @@ func TestPropertyMemoryMonotoneInOffload(t *testing.T) {
 func TestPropertyStableMonotoneInCkpt(t *testing.T) {
 	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
 	shape := baseShape()
-	f := func(c1, c2 uint8) bool {
-		x, y := int(c1%33), int(c2%33)
+	decodeCkpt := func(c1, c2 uint8) (x, y int) {
+		x, y = int(c1%33), int(c2%33)
 		if x > y {
 			x, y = y, x
 		}
+		return x, y
+	}
+	f := func(c1, c2 uint8) bool {
+		x, y := decodeCkpt(c1, c2)
 		rx, err1 := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: x})
 		ry, err2 := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: y})
 		if err1 != nil || err2 != nil {
@@ -364,8 +393,14 @@ func TestPropertyStableMonotoneInCkpt(t *testing.T) {
 		}
 		return rx.Stable <= ry.Stable+1e-12 && ry.PeakMem <= rx.PeakMem+1e-6
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
-		t.Error(err)
+	if err := quick.Check(f, &quick.Config{MaxCountScale: 0.8}); err != nil {
+		t.Error(describeCheckError(err, func(in []any) string {
+			x, y := decodeCkpt(in[0].(uint8), in[1].(uint8))
+			rx, _ := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: x})
+			ry, _ := a.Evaluate(shape, Knobs{Layers: 32, Ckpt: y})
+			return fmt.Sprintf("layers=32 ckpt lo=%d hi=%d -> Stable lo=%.6g hi=%.6g, PeakMem lo=%.6g hi=%.6g",
+				x, y, rx.Stable, ry.Stable, rx.PeakMem, ry.PeakMem)
+		}))
 	}
 }
 
@@ -373,11 +408,15 @@ func TestPropertyStableMonotoneInCkpt(t *testing.T) {
 func TestPropertyMonotoneInLayers(t *testing.T) {
 	a := newTestAnalyzer(t, "gpt3-2.7b", 4, true)
 	shape := baseShape()
-	f := func(l1, l2 uint8) bool {
-		x, y := int(l1%31)+1, int(l2%31)+1
+	decodeLayers := func(l1, l2 uint8) (x, y int) {
+		x, y = int(l1%31)+1, int(l2%31)+1
 		if x > y {
 			x, y = y, x
 		}
+		return x, y
+	}
+	f := func(l1, l2 uint8) bool {
+		x, y := decodeLayers(l1, l2)
 		rx, err1 := a.Evaluate(shape, Knobs{Layers: x})
 		ry, err2 := a.Evaluate(shape, Knobs{Layers: y})
 		if err1 != nil || err2 != nil {
@@ -385,8 +424,14 @@ func TestPropertyMonotoneInLayers(t *testing.T) {
 		}
 		return rx.Stable <= ry.Stable+1e-12 && rx.PeakMem <= ry.PeakMem+1e-6
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
-		t.Error(err)
+	if err := quick.Check(f, &quick.Config{MaxCountScale: 0.8}); err != nil {
+		t.Error(describeCheckError(err, func(in []any) string {
+			x, y := decodeLayers(in[0].(uint8), in[1].(uint8))
+			rx, _ := a.Evaluate(shape, Knobs{Layers: x})
+			ry, _ := a.Evaluate(shape, Knobs{Layers: y})
+			return fmt.Sprintf("layers lo=%d hi=%d -> Stable lo=%.6g hi=%.6g, PeakMem lo=%.6g hi=%.6g",
+				x, y, rx.Stable, ry.Stable, rx.PeakMem, ry.PeakMem)
+		}))
 	}
 }
 

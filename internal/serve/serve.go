@@ -1,0 +1,458 @@
+// Package serve exposes the Mist auto-tuner and the discrete-event
+// execution engine as a concurrent HTTP/JSON service — the first
+// multi-user serving layer on the road to a production tuning system.
+//
+// Endpoints:
+//
+//	POST /tune     — tune a (workload, cluster, space) triple; responses
+//	                 are memoized in a plan cache so repeated requests
+//	                 (and concurrent duplicates, which coalesce onto one
+//	                 in-flight search) return instantly.
+//	POST /simulate — execute a plan on the engine; the plan is either
+//	                 inlined in the request or tuned on demand through
+//	                 the same plan cache.
+//	GET  /healthz  — liveness probe.
+//	GET  /stats    — request counters and plan-cache occupancy.
+//
+// The handler is safe for arbitrary concurrency: the plan cache is
+// mutex-guarded with per-key in-flight coalescing, each tuner run owns a
+// private evaluation cache, and the underlying analyzer is itself
+// concurrency-safe.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/schedule"
+	"repro/internal/trainsim"
+)
+
+// WorkloadSpec names a (workload, cluster, space) triple in wire form.
+// It is the plan-cache key: two requests with the same spec share one
+// tuned plan.
+type WorkloadSpec struct {
+	Model    string `json:"model"`
+	Platform string `json:"platform"`      // "l4" (default) or "a100"
+	GPUs     int    `json:"gpus"`          // total GPU count
+	Batch    int    `json:"batch"`         // global batch size
+	Seq      int    `json:"seq,omitempty"` // 0: platform default (2048 L4, 4096 A100)
+	NoFlash  bool   `json:"noFlash,omitempty"`
+	Space    string `json:"space,omitempty"` // mist|megatron|deepspeed|aceso|3d|uniform
+}
+
+// normalize fills defaults and returns the resolved workload pieces.
+func (ws *WorkloadSpec) normalize() (plan.Workload, *hardware.Cluster, core.Space, error) {
+	var zero plan.Workload
+	cfg, err := model.ByName(ws.Model)
+	if err != nil {
+		return zero, nil, core.Space{}, err
+	}
+	if ws.Platform == "" {
+		ws.Platform = "l4"
+	}
+	nodes, perNode, err := hardware.MeshForGPUs(ws.GPUs)
+	if err != nil {
+		return zero, nil, core.Space{}, err
+	}
+	var cl *hardware.Cluster
+	switch strings.ToLower(ws.Platform) {
+	case "l4":
+		cl = hardware.L4Cluster(nodes, perNode)
+		if ws.Seq == 0 {
+			ws.Seq = 2048
+		}
+	case "a100":
+		cl = hardware.A100Cluster(nodes, perNode)
+		if ws.Seq == 0 {
+			ws.Seq = 4096
+		}
+	default:
+		return zero, nil, core.Space{}, fmt.Errorf("unknown platform %q", ws.Platform)
+	}
+	if ws.Space == "" {
+		ws.Space = "mist"
+	}
+	space, err := spaceByName(ws.Space)
+	if err != nil {
+		return zero, nil, core.Space{}, err
+	}
+	w := plan.Workload{Model: cfg, Seq: ws.Seq, Flash: !ws.NoFlash, GlobalBatch: ws.Batch}
+	if err := w.Validate(); err != nil {
+		return zero, nil, core.Space{}, err
+	}
+	return w, cl, space, nil
+}
+
+// key is the canonical plan-cache identity; normalize must have run so
+// defaults are resolved before keying.
+func (ws *WorkloadSpec) key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%t|%s",
+		ws.Model, strings.ToLower(ws.Platform), ws.GPUs, ws.Batch, ws.Seq, !ws.NoFlash, ws.Space)
+}
+
+func spaceByName(name string) (core.Space, error) {
+	switch strings.ToLower(name) {
+	case "mist":
+		return core.MistSpace(), nil
+	case "megatron":
+		return core.MegatronSpace(), nil
+	case "deepspeed":
+		return core.DeepSpeedSpace(), nil
+	case "aceso":
+		return core.AcesoSpace(), nil
+	case "3d":
+		return core.ThreeDSpace(), nil
+	case "uniform":
+		return core.UniformHeuristicSpace(), nil
+	}
+	return core.Space{}, fmt.Errorf("unknown search space %q", name)
+}
+
+// TuneRequest is the /tune body.
+type TuneRequest struct {
+	WorkloadSpec
+}
+
+// TuneResponse is the /tune reply.
+type TuneResponse struct {
+	Plan           *plan.Plan `json:"plan"`
+	Predicted      float64    `json:"predictedIterTime"` // seconds
+	PredThroughput float64    `json:"predictedThroughput"`
+	Candidates     int        `json:"candidates"`
+	SGPairs        int        `json:"sgPairs"`
+	ElapsedMS      float64    `json:"elapsedMs"`
+	EvalCacheHits  uint64     `json:"evalCacheHits"`
+	EvalCacheMiss  uint64     `json:"evalCacheMisses"`
+	EvalHitRate    float64    `json:"evalCacheHitRate"`
+
+	// Cached reports that the plan came from the serving-layer plan
+	// cache (including coalescing onto a concurrent identical request)
+	// rather than a fresh tuner run.
+	Cached bool `json:"cached"`
+}
+
+// SimulateRequest is the /simulate body: a workload spec plus an
+// optional explicit plan. Without a plan the service tunes one (through
+// the plan cache) and executes it.
+type SimulateRequest struct {
+	WorkloadSpec
+	Plan *plan.Plan `json:"plan,omitempty"`
+}
+
+// SimulateResponse is the /simulate reply.
+type SimulateResponse struct {
+	IterTime   float64   `json:"iterTime"`
+	Throughput float64   `json:"throughput"`
+	Bubble     float64   `json:"bubble"`
+	PeakMem    []float64 `json:"peakMem"`
+	BudgetByte float64   `json:"memoryBudget"`
+	OOM        bool      `json:"oom"`
+
+	// TunedPlan echoes the plan when the service tuned it on demand.
+	TunedPlan *plan.Plan `json:"tunedPlan,omitempty"`
+}
+
+// Stats is the /stats reply.
+type Stats struct {
+	TuneRequests     uint64 `json:"tuneRequests"`
+	SimulateRequests uint64 `json:"simulateRequests"`
+	PlanCacheHits    uint64 `json:"planCacheHits"`
+	TunesRun         uint64 `json:"tunesRun"`
+	PlanCacheSize    int    `json:"planCacheSize"`
+}
+
+// planEntry is one plan-cache slot; ready closes when the tuner run
+// completes, so concurrent requests for the same spec coalesce.
+type planEntry struct {
+	ready chan struct{}
+	resp  *TuneResponse
+	an    *schedule.Analyzer // calibrated analyzer, reused by /simulate
+	err   error
+}
+
+// maxCachedPlans bounds the plan cache: specs are client-controlled
+// (seq is an arbitrary int), so an unbounded map is a memory-growth
+// vector under varied or abusive traffic. Eviction is arbitrary among
+// completed entries — a re-tune on a cold spec is correct, just slower.
+const maxCachedPlans = 1024
+
+// Server is the tuning service. Create with New, mount via Handler, or
+// run a full HTTP server lifecycle with ListenAndServe.
+type Server struct {
+	mu    sync.Mutex
+	plans map[string]*planEntry
+
+	tuneRequests     atomic.Uint64
+	simulateRequests atomic.Uint64
+	planCacheHits    atomic.Uint64
+	tunesRun         atomic.Uint64
+}
+
+// New builds an empty service.
+func New() *Server {
+	return &Server{plans: map[string]*planEntry{}}
+}
+
+// evictOneLocked drops an arbitrary completed plan entry; in-flight
+// entries are kept so coalesced waiters stay attached. Call with mu
+// held.
+func (s *Server) evictOneLocked() {
+	for k, e := range s.plans {
+		select {
+		case <-e.ready:
+			delete(s.plans, k)
+			return
+		default:
+		}
+	}
+}
+
+// Handler mounts the service routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tune", s.handleTune)
+	mux.HandleFunc("/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// tune resolves a spec through the plan cache, running the tuner at most
+// once per distinct spec. The returned response is a private copy with
+// Cached set for this caller.
+func (s *Server) tune(ws WorkloadSpec) (*TuneResponse, error) {
+	w, cl, space, err := ws.normalize()
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	key := ws.key()
+
+	s.mu.Lock()
+	e, ok := s.plans[key]
+	if ok {
+		s.mu.Unlock()
+		s.planCacheHits.Add(1)
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		resp := *e.resp
+		resp.Cached = true
+		return &resp, nil
+	}
+	e = &planEntry{ready: make(chan struct{})}
+	if len(s.plans) >= maxCachedPlans {
+		s.evictOneLocked()
+	}
+	s.plans[key] = e
+	s.mu.Unlock()
+
+	e.resp, e.an, e.err = s.runTune(w, cl, space)
+	if e.err != nil {
+		// Do not cache failures: a later identical request retries.
+		s.mu.Lock()
+		delete(s.plans, key)
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	if e.err != nil {
+		return nil, e.err
+	}
+	resp := *e.resp
+	return &resp, nil
+}
+
+func (s *Server) runTune(w plan.Workload, cl *hardware.Cluster, space core.Space) (*TuneResponse, *schedule.Analyzer, error) {
+	s.tunesRun.Add(1)
+	tn, err := core.New(w, cl, space)
+	if err != nil {
+		return nil, nil, &badRequestError{err}
+	}
+	res, err := tn.Tune()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &TuneResponse{
+		Plan:           res.Plan,
+		Predicted:      res.Predicted,
+		PredThroughput: res.PredThroughput,
+		Candidates:     res.Candidates,
+		SGPairs:        res.SGPairs,
+		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
+		EvalCacheHits:  res.EvalCacheHits,
+		EvalCacheMiss:  res.EvalCacheMisses,
+		EvalHitRate:    res.CacheHitRate(),
+	}, tn.An, nil
+}
+
+// analyzerFor returns a calibrated analyzer for a spec, reusing the one
+// attached to the spec's plan-cache entry when present. Building one is
+// the expensive part of /simulate (operator DB + interference fit), so
+// repeated simulation traffic must not pay it per request.
+func (s *Server) analyzerFor(key string, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
+	s.mu.Lock()
+	e, ok := s.plans[key]
+	s.mu.Unlock()
+	if ok {
+		<-e.ready
+		if e.err == nil && e.an != nil {
+			return e.an, nil
+		}
+	}
+	tn, err := core.New(w, cl, space)
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	return tn.An, nil
+}
+
+func (s *Server) handleTune(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.tuneRequests.Add(1)
+	var tr TuneRequest
+	if err := json.NewDecoder(req.Body).Decode(&tr); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp, err := s.tune(tr.WorkloadSpec)
+	if err != nil {
+		writeError(rw, statusFor(err), err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.simulateRequests.Add(1)
+	var sr SimulateRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	w, cl, space, err := sr.WorkloadSpec.normalize()
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	p := sr.Plan
+	var tuned *plan.Plan
+	if p == nil {
+		tresp, err := s.tune(sr.WorkloadSpec)
+		if err != nil {
+			writeError(rw, statusFor(err), err)
+			return
+		}
+		p = tresp.Plan
+		tuned = tresp.Plan
+	}
+	if err := p.Validate(w); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("invalid plan: %w", err))
+		return
+	}
+	an, err := s.analyzerFor(sr.WorkloadSpec.key(), w, cl, space)
+	if err != nil {
+		writeError(rw, statusFor(err), err)
+		return
+	}
+	m, err := trainsim.New(w, cl, an).Measure(p)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, &SimulateResponse{
+		IterTime:   m.IterTime,
+		Throughput: m.Throughput,
+		Bubble:     m.Bubble,
+		PeakMem:    m.PeakMem,
+		BudgetByte: cl.MemoryBudget(),
+		OOM:        m.OOM(cl.MemoryBudget()),
+		TunedPlan:  tuned,
+	})
+}
+
+func (s *Server) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	writeJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(rw http.ResponseWriter, req *http.Request) {
+	writeJSON(rw, http.StatusOK, s.Stats())
+}
+
+// ListenAndServe runs the service at addr until ctx is canceled, then
+// shuts down gracefully, draining in-flight requests for up to grace.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	size := len(s.plans)
+	s.mu.Unlock()
+	return Stats{
+		TuneRequests:     s.tuneRequests.Load(),
+		SimulateRequests: s.simulateRequests.Load(),
+		PlanCacheHits:    s.planCacheHits.Load(),
+		TunesRun:         s.tunesRun.Load(),
+		PlanCacheSize:    size,
+	}
+}
+
+// badRequestError marks client-side failures (unknown model, bad shape).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func statusFor(err error) int {
+	var bad *badRequestError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNoFeasiblePlan):
+		// The search space genuinely contains no plan under the memory
+		// budget: the request was well-formed but unsatisfiable.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, err error) {
+	writeJSON(rw, status, map[string]string{"error": err.Error()})
+}
