@@ -22,8 +22,10 @@ race:
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
-bench: ## cached-vs-uncached tuner comparison
+bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortization
 	$(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x .
+	$(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core
+	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
 
 serve: ## run the tuning service locally
 	$(GO) run ./cmd/mistserve -addr :8080

@@ -1,14 +1,17 @@
 // Command mistserve runs the Mist tuning service: a concurrent HTTP/JSON
 // API over the auto-tuner and the execution engine, with a plan cache
 // keyed by (workload, cluster, space) so repeated requests are answered
-// instantly. It shuts down gracefully on SIGINT/SIGTERM, draining
+// instantly, an async job queue for batch tuning, and (with -store-dir)
+// a durable plan store that survives restarts and warm-starts near-miss
+// searches. It shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight tuning requests.
 //
 // Example session:
 //
-//	mistserve -addr :8080 &
+//	mistserve -addr :8080 -store-dir /var/lib/mist/plans &
 //	curl -s localhost:8080/tune -d '{"model":"gpt3-2.7b","gpus":4,"batch":32}'
-//	curl -s localhost:8080/simulate -d '{"model":"gpt3-2.7b","gpus":4,"batch":32}'
+//	curl -s localhost:8080/jobs -d '{"jobs":[{"model":"gpt3-2.7b","gpus":4,"batch":64},{"model":"gpt3-2.7b","gpus":8,"batch":64,"priority":1}]}'
+//	curl -s localhost:8080/jobs/job-000001
 //	curl -s localhost:8080/stats
 package main
 
@@ -23,22 +26,39 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mistserve: ")
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		grace = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain timeout")
+		addr     = flag.String("addr", ":8080", "listen address")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain timeout")
+		storeDir = flag.String("store-dir", "", "durable plan-store directory (empty: in-memory only)")
+		cacheCap = flag.Int("cache-cap", 0, "in-memory plan-cache capacity (0: default 1024)")
+		workers  = flag.Int("workers", 0, "async job worker pool size (0: default 2)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("serving on %s (POST /tune, POST /simulate, GET /healthz, GET /stats)", *addr)
-	err := serve.New().ListenAndServe(ctx, *addr, *grace)
+	opts := []serve.Option{serve.WithCacheCap(*cacheCap), serve.WithJobWorkers(*workers)}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if skipped := st.LoadSkipped(); skipped > 0 {
+			log.Printf("plan store: skipped %d unreadable documents in %s", skipped, *storeDir)
+		}
+		log.Printf("plan store: %d plans loaded from %s", st.Len(), *storeDir)
+		opts = append(opts, serve.WithStore(st))
+	}
+
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /healthz /stats)", *addr)
+	err := serve.New(opts...).ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

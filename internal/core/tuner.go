@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/evalcache"
@@ -47,10 +49,33 @@ type Tuner struct {
 	// uncached path; plans are identical either way).
 	NoCache bool
 
+	// Warm optionally seeds the search with a neighbor plan (see
+	// warm.go): the seed is priced into an incumbent bound that prunes
+	// provably dominated regions, its candidates are injected into the
+	// matching (S, G) pair, and it is the fallback answer — so a warm
+	// start can only match or improve on the cold search's plan. The
+	// seed should come from the same search space (the plan store
+	// enforces this); a seed using knobs outside Space can surface them
+	// in the result. Invalid or unadaptable seeds are ignored.
+	Warm *plan.Plan
+
 	// cache memoizes analyzer evaluations across stages, layer counts
 	// and (S, G) pairs of this tuner. Built by New/NewWithAnalyzer; a
 	// zero-value Tuner falls back to the bare analyzer.
 	cache *evalcache.Cache
+
+	// Per-Tune warm-start state: the priced seed, its objective as the
+	// incumbent bound (0 disables pruning), and telemetry counters
+	// shared by the concurrent (S, G) workers. Written only before the
+	// workers spawn.
+	warmSeed    *warmSeed
+	warmBound   float64
+	warmPruned  atomic.Int64
+	warmAborted atomic.Int64
+
+	// tuneCtx bounds the running search; canceling it makes
+	// TuneContext return the context's error.
+	tuneCtx context.Context
 }
 
 // evaluator returns the pricing backend for this search: the memoizing
@@ -60,6 +85,15 @@ func (t *Tuner) evaluator() evalcache.Evaluator {
 		return t.An
 	}
 	return t.cache
+}
+
+// ctxErr reports the running search's context error (nil outside a
+// TuneContext call).
+func (t *Tuner) ctxErr() error {
+	if t.tuneCtx == nil {
+		return nil
+	}
+	return t.tuneCtx.Err()
 }
 
 // Result reports the tuned plan and tuning statistics.
@@ -79,6 +113,16 @@ type Result struct {
 	// cache counters, so the stats can exceed Candidates slightly there.
 	EvalCacheHits   uint64
 	EvalCacheMisses uint64
+
+	// Warm-start telemetry (all zero on cold searches): whether a seed
+	// plan survived validation and pricing, its objective (the incumbent
+	// bound), how many priced candidates the bound pruned before
+	// inter-stage selection, and how many (S, G) pairs were abandoned
+	// mid-sweep — the latter is where analyzer evaluations are saved.
+	WarmStarted       bool
+	WarmSeedObjective float64
+	WarmPruned        int
+	WarmAbortedPairs  int
 }
 
 // CacheHitRate returns the fraction of candidate evaluations served from
@@ -128,12 +172,35 @@ var ErrNoFeasiblePlan = errors.New("core: no feasible plan in search space (OOM 
 // tuned concurrently (§6.5: "searching over different gradient
 // accumulation steps is independent ... can be parallelized").
 func (t *Tuner) Tune() (*Result, error) {
+	return t.TuneContext(context.Background())
+}
+
+// TuneContext is Tune under a context: cancellation aborts the search
+// between pipeline stages and (S, G) pairs and returns the context's
+// error. Used by the async job queue for per-job cancellation.
+func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	var cacheBefore evalcache.Stats
 	if t.cache != nil {
 		cacheBefore = t.cache.Stats()
 	}
+
+	// Warm-start setup (see warm.go): price the seed, arm the incumbent
+	// bound, reset telemetry. All writes happen before workers spawn.
+	t.tuneCtx = ctx
+	t.warmSeed, t.warmBound = nil, 0
+	t.warmPruned.Store(0)
+	t.warmAborted.Store(0)
+	seed := t.prepareWarm()
+	if seed != nil {
+		t.warmSeed = seed
+		t.warmBound = seed.objective
+		res.WarmStarted = true
+		res.WarmSeedObjective = seed.objective
+		res.Candidates += len(seed.stages) // seed pricing is real evaluator traffic
+	}
+
 	type sg struct{ s, g, devPer int }
 	var pairs []sg
 	for _, s := range t.stageCounts() {
@@ -164,6 +231,10 @@ func (t *Tuner) Tune() (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
+				if ctx.Err() != nil {
+					results <- outcome{s: p.s, g: p.g}
+					continue
+				}
 				sol, nEval, err := t.tuneSG(p.s, p.g, p.devPer)
 				if err != nil {
 					sol = nil // infeasible (S, G): OOM or no factorization
@@ -196,11 +267,24 @@ func (t *Tuner) Tune() (*Result, error) {
 			best = &found{sol: o.sol, s: o.s, g: o.g}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Elapsed = time.Since(start)
+	res.WarmPruned = int(t.warmPruned.Load())
+	res.WarmAbortedPairs = int(t.warmAborted.Load())
 	if t.cache != nil && !t.NoCache {
 		after := t.cache.Stats()
 		res.EvalCacheHits = after.Hits - cacheBefore.Hits
 		res.EvalCacheMisses = after.Misses - cacheBefore.Misses
+	}
+	if seed != nil && (best == nil || best.sol.Objective > seed.objective) {
+		// The (pruned) search failed to beat the seed: the seed itself is
+		// the answer, so a warm start never regresses below its neighbor.
+		best = &found{
+			sol: &interSolution{Stages: seed.stages, Objective: seed.objective},
+			s:   len(seed.stages), g: seed.g,
+		}
 	}
 	if best == nil {
 		return nil, ErrNoFeasiblePlan
@@ -229,7 +313,11 @@ func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
 	}
 	evaluated := 0
 	cands := make([][]candidate, s)
+	var pb pairBound
 	for i := 0; i < s; i++ {
+		if err := t.ctxErr(); err != nil {
+			return nil, evaluated, err
+		}
 		var stageC []candidate
 		for _, l := range t.layerRange(s, i) {
 			cs, n, err := t.intraStage(s, g, i, devPer, l)
@@ -239,8 +327,17 @@ func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
 			}
 			stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
 		}
+		stageC = t.injectSeed(stageC, s, g, i)
 		if len(stageC) == 0 {
 			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d", i, s, g)
+		}
+		stageC = t.pruneByBound(stageC, g)
+		if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+			// Every surviving combination of this pair is provably no
+			// better than the warm seed: stop before pricing the
+			// remaining stages.
+			t.warmAborted.Add(1)
+			return nil, evaluated, &warmPrunedError{s: s, g: g}
 		}
 		cands[i] = stageC
 	}
@@ -268,7 +365,11 @@ func (t *Tuner) tuneSGHetero(s, g int) (*interSolution, int, error) {
 	evaluated := 0
 	devOpts := t.deviceOptions(s)
 	cands := make([][]candidate, s)
+	var pb pairBound
 	for i := 0; i < s; i++ {
+		if err := t.ctxErr(); err != nil {
+			return nil, evaluated, err
+		}
 		var stageC []candidate
 		for _, dev := range devOpts {
 			// Group the Pareto sampling per (device count, layer count)
@@ -282,8 +383,14 @@ func (t *Tuner) tuneSGHetero(s, g int) (*interSolution, int, error) {
 				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
 			}
 		}
+		stageC = t.injectSeed(stageC, s, g, i)
 		if len(stageC) == 0 {
 			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d (hetero)", i, s, g)
+		}
+		stageC = t.pruneByBound(stageC, g)
+		if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+			t.warmAborted.Add(1)
+			return nil, evaluated, &warmPrunedError{s: s, g: g}
 		}
 		cands[i] = stageC
 	}

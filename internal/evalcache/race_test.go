@@ -1,0 +1,150 @@
+package evalcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// syntheticEvaluator is a deterministic stand-in for the analyzer: the
+// result encodes the canonical key's identity so tests can verify that
+// every caller observed the value its key demands, and an atomic counter
+// tracks how many points actually reached the backend.
+type syntheticEvaluator struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func syntheticResult(s schedule.StageShape, k schedule.Knobs) schedule.Result {
+	key := CanonicalKey(s, k)
+	v := float64(key.B)*1e6 + float64(key.DP)*1e4 + float64(key.TP)*1e2 +
+		float64(key.InFlight)*10 + float64(key.Layers) + float64(key.Ckpt)/100
+	return schedule.Result{Stable: v, Delta: v / 2, PeakMem: v * 3}
+}
+
+func (c *syntheticEvaluator) Evaluate(s schedule.StageShape, k schedule.Knobs) (schedule.Result, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return syntheticResult(s, k), nil
+}
+
+func (c *syntheticEvaluator) EvaluateBatch(s schedule.StageShape, ks []schedule.Knobs) ([]schedule.Result, error) {
+	c.mu.Lock()
+	c.calls += len(ks)
+	c.mu.Unlock()
+	out := make([]schedule.Result, len(ks))
+	for i, k := range ks {
+		out[i] = syntheticResult(s, k)
+	}
+	return out, nil
+}
+
+// TestConcurrentMixedHitMissLoad hammers one cache from many goroutines
+// with overlapping key populations — exactly the access pattern of the
+// tuner's nested (S, G) x shape worker pools — and checks, under the
+// race detector (`make race`), that every result is correct and the
+// hit/miss accounting stays exact: each requested point counts as
+// precisely one hit or one miss, whatever the interleaving.
+func TestConcurrentMixedHitMissLoad(t *testing.T) {
+	ev := &syntheticEvaluator{}
+	c := New(ev)
+
+	const (
+		goroutines = 16
+		rounds     = 40
+	)
+	// A small key population shared by all goroutines guarantees heavy
+	// hit/miss mixing: the first toucher of a point misses, everyone
+	// else should hit (or miss benignly when racing the first store).
+	shapes := []schedule.StageShape{
+		{B: 1, DP: 2, TP: 1, NumStages: 2, StageIdx: 0, GradAccum: 4, HasPre: true},
+		{B: 1, DP: 2, TP: 1, NumStages: 2, StageIdx: 1, GradAccum: 4, HasPost: true},
+		{B: 2, DP: 1, TP: 2, ZeRO: 3, NumStages: 1, StageIdx: 0, GradAccum: 1, HasPre: true, HasPost: true},
+	}
+	knobsFor := func(i int) schedule.Knobs {
+		return schedule.Knobs{Layers: 8 + i%4, Ckpt: i % 3, WO: float64(i%2) / 2}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	totalRequests := 0
+	for g := 0; g < goroutines; g++ {
+		// Half the goroutines use single-point Evaluate, half batch.
+		useBatch := g%2 == 1
+		perRound := len(shapes) * 6
+		totalRequests += rounds * perRound
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, sh := range shapes {
+					if useBatch {
+						ks := make([]schedule.Knobs, 6)
+						for i := range ks {
+							ks[i] = knobsFor((g + r + i) % 8)
+						}
+						rs, err := c.EvaluateBatch(sh, ks)
+						if err != nil {
+							errs <- err
+							return
+						}
+						for i, res := range rs {
+							if want := syntheticResult(sh, ks[i]); res != want {
+								errs <- fmt.Errorf("batch result mismatch at %d: got %+v want %+v", i, res, want)
+								return
+							}
+						}
+					} else {
+						for i := 0; i < 6; i++ {
+							k := knobsFor((g + r + i) % 8)
+							res, err := c.Evaluate(sh, k)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if want := syntheticResult(sh, k); res != want {
+								errs <- fmt.Errorf("result mismatch: got %+v want %+v", res, want)
+								return
+							}
+						}
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := c.Stats()
+	if got := st.Hits + st.Misses; got != uint64(totalRequests) {
+		t.Errorf("hits(%d) + misses(%d) = %d, want exactly %d requests", st.Hits, st.Misses, got, totalRequests)
+	}
+	// Distinct canonical points bound the cache size; misses can exceed
+	// Len when two goroutines race the first store of a point, but the
+	// cache must never grow beyond the population.
+	distinct := map[Key]bool{}
+	for _, sh := range shapes {
+		for i := 0; i < 8; i++ {
+			distinct[CanonicalKey(sh, knobsFor(i))] = true
+		}
+	}
+	if c.Len() > len(distinct) {
+		t.Errorf("cache holds %d entries, key population is %d", c.Len(), len(distinct))
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("degenerate traffic: %+v (want a genuine hit/miss mix)", st)
+	}
+	// The backend saw every miss and nothing else.
+	if uint64(ev.calls) != st.Misses {
+		t.Errorf("backend evaluated %d points, cache counted %d misses", ev.calls, st.Misses)
+	}
+}

@@ -1,0 +1,365 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func wait(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	return snap
+}
+
+func TestSubmitRunsAndReturnsResult(t *testing.T) {
+	m := NewManager(2, 0)
+	defer m.Close()
+	snap, deduped, err := m.Submit("k1", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		emit("halfway")
+		return 42, nil
+	})
+	if err != nil || deduped {
+		t.Fatalf("submit: err=%v deduped=%v", err, deduped)
+	}
+	if snap.State != StateQueued && snap.State != StateRunning {
+		t.Errorf("fresh job state %s", snap.State)
+	}
+	final := wait(t, m, snap.ID)
+	if final.State != StateDone || final.Result != 42 || final.Err != nil {
+		t.Fatalf("final: %+v", final)
+	}
+	if final.Started.IsZero() || final.Finished.IsZero() || final.Finished.Before(final.Started) {
+		t.Errorf("timestamps wrong: %+v", final)
+	}
+	// Lifecycle events recorded in order, custom emit included.
+	var msgs []string
+	for _, e := range final.Events {
+		msgs = append(msgs, e.Msg)
+	}
+	want := []string{"submitted", "started", "halfway", "done"}
+	if len(msgs) != len(want) {
+		t.Fatalf("events %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("events %v, want %v", msgs, want)
+		}
+	}
+}
+
+func TestFailureAndPanicIsolation(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	boom := errors.New("boom")
+	s1, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		return nil, boom
+	})
+	s2, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		panic("kaboom")
+	})
+	s3, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		return "ok", nil
+	})
+	if f := wait(t, m, s1.ID); f.State != StateFailed || !errors.Is(f.Err, boom) {
+		t.Errorf("job 1: %+v", f)
+	}
+	if f := wait(t, m, s2.ID); f.State != StateFailed || f.Err == nil {
+		t.Errorf("panicking job: %+v", f)
+	}
+	// The worker survived the panic and ran the third job.
+	if f := wait(t, m, s3.ID); f.State != StateDone || f.Result != "ok" {
+		t.Errorf("job after panic: %+v", f)
+	}
+	st := m.Stats()
+	if st.Failed != 2 || st.Done != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+
+	// Gate the single worker so the queue builds up, then release and
+	// observe execution order.
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	_, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(name string, prio int) string {
+		t.Helper()
+		snap, _, err := m.Submit("", prio, func(ctx context.Context, emit func(string)) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.ID
+	}
+	lowA := submit("low-a", 0)
+	high := submit("high", 5)
+	lowB := submit("low-b", 0)
+	mid := submit("mid", 2)
+	close(gate)
+	for _, id := range []string{lowA, high, lowB, mid} {
+		wait(t, m, id)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"high", "mid", "low-a", "low-b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDedupOntoActiveJob(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+	release := make(chan struct{})
+	first, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		<-release
+		return "shared", nil
+	})
+	if err != nil || deduped {
+		t.Fatal(err)
+	}
+	second, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		t.Error("duplicate task ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || second.ID != first.ID {
+		t.Fatalf("duplicate not deduped: first=%s second=%s deduped=%v", first.ID, second.ID, deduped)
+	}
+	close(release)
+	if f := wait(t, m, first.ID); f.State != StateDone || f.Result != "shared" {
+		t.Fatalf("shared job: %+v", f)
+	}
+	// Once settled, the key is free again: a new submission runs fresh.
+	third, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || deduped || third.ID == first.ID {
+		t.Fatalf("post-completion submit: %+v deduped=%v err=%v", third, deduped, err)
+	}
+	wait(t, m, third.ID)
+	if st := m.Stats(); st.Deduped != 1 || st.Submitted != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close()
+
+	started := make(chan struct{})
+	running, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		close(started)
+		<-ctx.Done() // honor cancellation
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := m.Submit("q", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		t.Error("canceled queued job ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Cancel the queued job: settles immediately without running.
+	if !m.Cancel(queued.ID) {
+		t.Fatal("cancel queued returned false")
+	}
+	if f := wait(t, m, queued.ID); f.State != StateCanceled {
+		t.Errorf("queued job: %+v", f)
+	}
+	// Its dedup key is released.
+	if _, deduped, _ := m.Submit("q", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); deduped {
+		t.Error("canceled queued job still holds its dedup key")
+	}
+
+	// Cancel the running job: its context fires and it settles canceled.
+	if !m.Cancel(running.ID) {
+		t.Fatal("cancel running returned false")
+	}
+	if f := wait(t, m, running.ID); f.State != StateCanceled {
+		t.Errorf("running job after cancel: %+v", f)
+	}
+	// Canceling a settled job is refused.
+	if m.Cancel(running.ID) {
+		t.Error("second cancel succeeded")
+	}
+}
+
+// Canceling a queued job removes it from the queue outright (no
+// tombstones in QueueDepth or the queueCap admission check), and a
+// deduped resubmission at higher priority promotes the queued original.
+func TestCancelFreesQueueSlotAndDedupBumpsPriority(t *testing.T) {
+	m := NewManager(1, 2)
+	defer m.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	blocker := func(ctx context.Context, emit func(string)) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, _, err := m.Submit("", 0, blocker); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Busy == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a, _, _ := m.Submit("a", 0, blocker)
+	bJob, _, _ := m.Submit("b", 1, blocker)
+	if _, _, err := m.Submit("", 0, blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue should be full: %v", err)
+	}
+	if !m.Cancel(a.ID) {
+		t.Fatal("cancel queued failed")
+	}
+	if depth := m.Stats().QueueDepth; depth != 1 {
+		t.Errorf("queue depth after cancel = %d, want 1", depth)
+	}
+	// The freed slot admits a new job immediately.
+	if _, _, err := m.Submit("c", 0, blocker); err != nil {
+		t.Errorf("freed slot rejected a submit: %v", err)
+	}
+	// Resubmitting b's workload at higher priority promotes the queued
+	// job rather than demoting the urgent request.
+	snap, deduped, err := m.Submit("b", 9, blocker)
+	if err != nil || !deduped || snap.ID != bJob.ID {
+		t.Fatalf("dedup resubmit: %+v deduped=%v err=%v", snap, deduped, err)
+	}
+	if got, _ := m.Get(bJob.ID); got.Priority != 9 {
+		t.Errorf("queued job priority %d after urgent resubmit, want 9", got.Priority)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	m := NewManager(1, 2)
+	defer m.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	blocker := func(ctx context.Context, emit func(string)) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	// One running + two queued fills the bound.
+	if _, _, err := m.Submit("", 0, blocker); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to pick up the first job so exactly two
+	// slots remain.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Busy == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.Submit("", 0, blocker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m.Submit("", 0, blocker); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overfull submit: %v", err)
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	m := NewManager(1, 0)
+	entered := make(chan struct{})
+	running, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		close(entered)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	queued, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+		return nil, nil
+	})
+	<-entered
+	m.Close() // blocks until the worker exits
+
+	if f, _ := m.Get(running.ID); f.State != StateCanceled {
+		t.Errorf("running job after close: %s", f.State)
+	}
+	if f, _ := m.Get(queued.ID); f.State != StateCanceled {
+		t.Errorf("queued job after close: %s", f.State)
+	}
+	if _, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v", err)
+	}
+	m.Close() // idempotent
+}
+
+func TestListAndStats(t *testing.T) {
+	m := NewManager(4, 0)
+	defer m.Close()
+	const n = 9
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		snap, _, err := m.Submit(fmt.Sprintf("k%d", i), i%3, func(ctx context.Context, emit func(string)) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = snap.ID
+	}
+	for _, id := range ids {
+		wait(t, m, id)
+	}
+	list := m.List()
+	if len(list) != n {
+		t.Fatalf("List returned %d jobs, want %d", len(list), n)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Errorf("list not ordered: %s before %s", list[i-1].ID, list[i].ID)
+		}
+	}
+	st := m.Stats()
+	if st.Submitted != n || st.Done != n || st.QueueDepth != 0 || st.Busy != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Workers != 4 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// JobSpec is one asynchronous tuning request: a workload spec plus a
+// scheduling priority (higher runs first; ties run in submission order).
+type JobSpec struct {
+	WorkloadSpec
+	Priority int `json:"priority,omitempty"`
+}
+
+// JobsSubmitRequest is the POST /jobs body: either a single inline
+// JobSpec or a batch under "jobs".
+type JobsSubmitRequest struct {
+	JobSpec
+	Jobs []JobSpec `json:"jobs,omitempty"`
+}
+
+// JobStatus is the wire view of one job.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	State    string `json:"state"`
+	Priority int    `json:"priority"`
+
+	// Deduped marks a submission that attached to an already-active job
+	// for the same workload instead of enqueuing duplicate work.
+	Deduped bool `json:"deduped,omitempty"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	Result *TuneResponse `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+
+	Events []jobs.Event `json:"events,omitempty"`
+}
+
+// JobsListResponse is the GET /jobs (and batch POST /jobs) reply.
+type JobsListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+func jobStatusOf(snap jobs.Snapshot, deduped bool) JobStatus {
+	st := JobStatus{
+		ID:          snap.ID,
+		Key:         snap.Key,
+		State:       string(snap.State),
+		Priority:    snap.Priority,
+		Deduped:     deduped,
+		SubmittedAt: snap.Submitted,
+		Events:      snap.Events,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		st.StartedAt = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		st.FinishedAt = &t
+	}
+	if snap.Err != nil {
+		st.Error = snap.Err.Error()
+	}
+	if resp, ok := snap.Result.(*TuneResponse); ok {
+		st.Result = resp
+	}
+	return st
+}
+
+// SubmitJob validates and enqueues one asynchronous tuning job. Invalid
+// specs are rejected at submit time (badRequestError) rather than
+// queued to fail later. Submissions for a workload that is already
+// queued or running attach to the existing job (deduped=true).
+func (s *Server) SubmitJob(spec JobSpec) (JobStatus, error) {
+	if _, _, _, err := spec.normalize(); err != nil {
+		return JobStatus{}, &badRequestError{err}
+	}
+	ws := spec.WorkloadSpec // normalized copy: defaults resolved
+	key := ws.key()
+	snap, deduped, err := s.jobs.Submit(key, spec.Priority, func(ctx context.Context, emit func(string)) (any, error) {
+		emit("tuning " + key)
+		resp, err := s.tuneCtx(ctx, ws)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.FromStore:
+			emit("served from plan store")
+		case resp.Cached:
+			emit("served from plan cache")
+		case resp.WarmStarted:
+			emit(fmt.Sprintf("warm-started search: %d candidates pruned, %d pairs aborted",
+				resp.WarmPruned, resp.WarmAbortedPairs))
+		default:
+			emit("cold search complete")
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return jobStatusOf(snap, deduped), nil
+}
+
+// JobStatusByID snapshots one job.
+func (s *Server) JobStatusByID(id string) (JobStatus, bool) {
+	snap, ok := s.jobs.Get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jobStatusOf(snap, false), true
+}
+
+// WaitJob blocks until the job settles (or ctx expires) and returns its
+// final status. Used by batch CLI mode; the HTTP API polls instead.
+func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	snap, err := s.jobs.Wait(ctx, id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return jobStatusOf(snap, false), nil
+}
+
+// CancelJob cancels a queued or running job; false when the job is
+// unknown or already settled.
+func (s *Server) CancelJob(id string) bool { return s.jobs.Cancel(id) }
+
+func (s *Server) handleJobsSubmit(rw http.ResponseWriter, req *http.Request) {
+	var jr JobsSubmitRequest
+	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(jr.Jobs) == 0 {
+		st, err := s.SubmitJob(jr.JobSpec)
+		if err != nil {
+			writeError(rw, statusForSubmit(err), err)
+			return
+		}
+		writeJSON(rw, http.StatusAccepted, st)
+		return
+	}
+	out := make([]JobStatus, 0, len(jr.Jobs))
+	for i, spec := range jr.Jobs {
+		st, err := s.SubmitJob(spec)
+		if err != nil {
+			// Reject the whole batch on the first invalid spec: partial
+			// submission would leave the caller guessing which half ran.
+			// Only jobs this batch actually created are rolled back — a
+			// deduped entry belongs to someone else's live submission.
+			for _, prev := range out {
+				if !prev.Deduped {
+					s.jobs.Cancel(prev.ID)
+				}
+			}
+			writeError(rw, statusForSubmit(err), fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		out = append(out, st)
+	}
+	writeJSON(rw, http.StatusAccepted, JobsListResponse{Jobs: out})
+}
+
+func (s *Server) handleJobsList(rw http.ResponseWriter, req *http.Request) {
+	snaps := s.jobs.List()
+	out := make([]JobStatus, len(snaps))
+	for i, snap := range snaps {
+		out[i] = jobStatusOf(snap, false)
+	}
+	writeJSON(rw, http.StatusOK, JobsListResponse{Jobs: out})
+}
+
+func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	st, ok := s.JobStatusByID(id)
+	if !ok {
+		writeError(rw, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(rw http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	st, ok := s.JobStatusByID(id)
+	if !ok {
+		writeError(rw, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if !s.CancelJob(id) {
+		writeError(rw, http.StatusConflict,
+			fmt.Errorf("job %q already settled (%s)", id, st.State))
+		return
+	}
+	st, _ = s.JobStatusByID(id)
+	writeJSON(rw, http.StatusOK, st)
+}
+
+func statusForSubmit(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return statusFor(err)
+	}
+}

@@ -1,18 +1,31 @@
 // Package serve exposes the Mist auto-tuner and the discrete-event
-// execution engine as a concurrent HTTP/JSON service — the first
-// multi-user serving layer on the road to a production tuning system.
+// execution engine as a concurrent HTTP/JSON service — the multi-user
+// serving layer of a production tuning system.
 //
 // Endpoints:
 //
-//	POST /tune     — tune a (workload, cluster, space) triple; responses
-//	                 are memoized in a plan cache so repeated requests
-//	                 (and concurrent duplicates, which coalesce onto one
-//	                 in-flight search) return instantly.
-//	POST /simulate — execute a plan on the engine; the plan is either
-//	                 inlined in the request or tuned on demand through
-//	                 the same plan cache.
-//	GET  /healthz  — liveness probe.
-//	GET  /stats    — request counters and plan-cache occupancy.
+//	POST /tune       — tune a (workload, cluster, space) triple; responses
+//	                   are memoized in a plan cache so repeated requests
+//	                   (and concurrent duplicates, which coalesce onto one
+//	                   in-flight search) return instantly.
+//	POST /simulate   — execute a plan on the engine; the plan is either
+//	                   inlined in the request or tuned on demand through
+//	                   the same plan cache.
+//	POST /jobs       — submit one tuning job or a batch asynchronously;
+//	                   jobs run on a bounded priority worker pool.
+//	GET  /jobs       — list jobs; GET /jobs/{id} — status and result;
+//	DELETE /jobs/{id} — cancel (queued jobs immediately, running jobs via
+//	                   their context).
+//	GET  /healthz    — liveness probe.
+//	GET  /stats      — request counters, plan-cache occupancy/evictions,
+//	                   job-queue depth and worker utilization, plan-store
+//	                   size and warm-start hit rate.
+//
+// With a plan store attached (WithStore), every tuned plan is durably
+// written to disk and served back after a restart without re-searching;
+// near-miss requests warm-start their search from the nearest stored
+// neighbor (same model family, closest GPU count/batch), which prunes
+// dominated regions early and never degrades plan quality.
 //
 // The handler is safe for arbitrary concurrency: the plan cache is
 // mutex-guarded with per-key in-flight coalescing, each tuner run owns a
@@ -33,9 +46,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hardware"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/schedule"
+	"repro/internal/store"
 	"repro/internal/trainsim"
 )
 
@@ -95,11 +110,26 @@ func (ws *WorkloadSpec) normalize() (plan.Workload, *hardware.Cluster, core.Spac
 	return w, cl, space, nil
 }
 
+// fingerprint maps the spec onto the plan store's canonical identity;
+// normalize must have run so defaults are resolved first.
+func (ws *WorkloadSpec) fingerprint() store.Fingerprint {
+	return store.Fingerprint{
+		Model:    ws.Model,
+		Platform: strings.ToLower(ws.Platform),
+		GPUs:     ws.GPUs,
+		Batch:    ws.Batch,
+		Seq:      ws.Seq,
+		Flash:    !ws.NoFlash,
+		Space:    strings.ToLower(ws.Space),
+	}
+}
+
 // key is the canonical plan-cache identity; normalize must have run so
-// defaults are resolved before keying.
+// defaults are resolved before keying. It equals the plan store's index
+// key, so the in-memory cache and the durable store agree about request
+// identity.
 func (ws *WorkloadSpec) key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%t|%s",
-		ws.Model, strings.ToLower(ws.Platform), ws.GPUs, ws.Batch, ws.Seq, !ws.NoFlash, ws.Space)
+	return ws.fingerprint().Key()
 }
 
 func spaceByName(name string) (core.Space, error) {
@@ -141,6 +171,22 @@ type TuneResponse struct {
 	// cache (including coalescing onto a concurrent identical request)
 	// rather than a fresh tuner run.
 	Cached bool `json:"cached"`
+
+	// FromStore reports that the plan was served from the durable plan
+	// store (a previous process tuned it) without running a search;
+	// StoreVersion is the stored record's write generation.
+	FromStore    bool `json:"fromStore,omitempty"`
+	StoreVersion int  `json:"storeVersion,omitempty"`
+
+	// Warm-start telemetry for fresh searches seeded from a stored
+	// neighbor plan: the seed's objective became an incumbent bound that
+	// pruned WarmPruned candidates and aborted WarmAbortedPairs
+	// (pipeline depth, grad accum) pairs early. Warm starts only prune —
+	// the returned plan is never worse than a cold search's.
+	WarmStarted       bool    `json:"warmStarted,omitempty"`
+	WarmSeedObjective float64 `json:"warmSeedObjective,omitempty"`
+	WarmPruned        int     `json:"warmPrunedCandidates,omitempty"`
+	WarmAbortedPairs  int     `json:"warmAbortedPairs,omitempty"`
 }
 
 // SimulateRequest is the /simulate body: a workload spec plus an
@@ -171,6 +217,31 @@ type Stats struct {
 	PlanCacheHits    uint64 `json:"planCacheHits"`
 	TunesRun         uint64 `json:"tunesRun"`
 	PlanCacheSize    int    `json:"planCacheSize"`
+
+	// Plan-cache pressure: the configured capacity and how many
+	// completed entries have been evicted to stay under it.
+	PlanCacheCap       int    `json:"planCacheCap"`
+	PlanCacheEvictions uint64 `json:"planCacheEvictions"`
+
+	// Durable plan store (zero-valued when no store is attached):
+	// indexed plans, exact-fingerprint hits served without a search,
+	// searches seeded from a stored neighbor, and the fraction of
+	// searches run that were warm-started.
+	StoreSize        int     `json:"storeSize"`
+	StoreHits        uint64  `json:"storeHits"`
+	WarmStarts       uint64  `json:"warmStarts"`
+	WarmStartHitRate float64 `json:"warmStartHitRate"`
+
+	// Async job queue and worker pool.
+	JobsSubmitted     uint64  `json:"jobsSubmitted"`
+	JobsDeduped       uint64  `json:"jobsDeduped"`
+	JobsDone          uint64  `json:"jobsDone"`
+	JobsFailed        uint64  `json:"jobsFailed"`
+	JobsCanceled      uint64  `json:"jobsCanceled"`
+	QueueDepth        int     `json:"queueDepth"`
+	JobWorkers        int     `json:"jobWorkers"`
+	BusyWorkers       int     `json:"busyWorkers"`
+	WorkerUtilization float64 `json:"workerUtilization"`
 }
 
 // planEntry is one plan-cache slot; ready closes when the tuner run
@@ -182,28 +253,86 @@ type planEntry struct {
 	err   error
 }
 
-// maxCachedPlans bounds the plan cache: specs are client-controlled
+// defaultCacheCap bounds the plan cache: specs are client-controlled
 // (seq is an arbitrary int), so an unbounded map is a memory-growth
 // vector under varied or abusive traffic. Eviction is arbitrary among
-// completed entries — a re-tune on a cold spec is correct, just slower.
-const maxCachedPlans = 1024
+// completed entries — a re-tune on a cold spec is correct, just slower
+// (and free when the evicted plan is still in the durable store).
+const defaultCacheCap = 1024
+
+// defaultJobWorkers bounds the async pool: each tuner run already fans
+// out across GOMAXPROCS, so a narrow pool keeps batch submissions from
+// oversubscribing the process.
+const defaultJobWorkers = 2
 
 // Server is the tuning service. Create with New, mount via Handler, or
-// run a full HTTP server lifecycle with ListenAndServe.
+// run a full HTTP server lifecycle with ListenAndServe. Call Close when
+// done to stop the job workers (ListenAndServe does so on shutdown).
 type Server struct {
 	mu    sync.Mutex
 	plans map[string]*planEntry
+
+	cacheCap int
+	store    *store.Store
+	jobs     *jobs.Manager
 
 	tuneRequests     atomic.Uint64
 	simulateRequests atomic.Uint64
 	planCacheHits    atomic.Uint64
 	tunesRun         atomic.Uint64
+	evictions        atomic.Uint64
+	storeHits        atomic.Uint64
+	warmStarts       atomic.Uint64
 }
 
-// New builds an empty service.
-func New() *Server {
-	return &Server{plans: map[string]*planEntry{}}
+// Option configures a Server.
+type Option func(*Server)
+
+// WithStore attaches a durable plan store: tuned plans are written
+// through, exact fingerprints are served from it without re-searching,
+// and near-miss searches warm-start from the nearest stored neighbor.
+func WithStore(st *store.Store) Option {
+	return func(s *Server) { s.store = st }
 }
+
+// WithCacheCap overrides the in-memory plan-cache capacity (entries;
+// values < 1 keep the default).
+func WithCacheCap(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.cacheCap = n
+		}
+	}
+}
+
+// WithJobWorkers sets the async job pool width (values < 1 keep the
+// default).
+func WithJobWorkers(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.jobs = jobs.NewManager(n, 0)
+		}
+	}
+}
+
+// New builds a service.
+func New(opts ...Option) *Server {
+	s := &Server{plans: map[string]*planEntry{}, cacheCap: defaultCacheCap}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.jobs == nil {
+		s.jobs = jobs.NewManager(defaultJobWorkers, 0)
+	}
+	return s
+}
+
+// Close stops the job workers (canceling queued and running jobs). The
+// plan store needs no teardown: every Put is already durable.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Store exposes the attached plan store (nil without one).
+func (s *Server) Store() *store.Store { return s.store }
 
 // evictOneLocked drops an arbitrary completed plan entry; in-flight
 // entries are kept so coalesced waiters stay attached. Call with mu
@@ -213,6 +342,7 @@ func (s *Server) evictOneLocked() {
 		select {
 		case <-e.ready:
 			delete(s.plans, k)
+			s.evictions.Add(1)
 			return
 		default:
 		}
@@ -226,6 +356,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/simulate", s.handleSimulate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("POST /jobs", s.handleJobsSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobsList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -233,6 +367,13 @@ func (s *Server) Handler() http.Handler {
 // once per distinct spec. The returned response is a private copy with
 // Cached set for this caller.
 func (s *Server) tune(ws WorkloadSpec) (*TuneResponse, error) {
+	return s.tuneCtx(context.Background(), ws)
+}
+
+// tuneCtx is tune under a context. Cancellation aborts a search this
+// call started; coalesced waiters on that search then see the error and
+// the failed entry is dropped, so a later request simply retries.
+func (s *Server) tuneCtx(ctx context.Context, ws WorkloadSpec) (*TuneResponse, error) {
 	w, cl, space, err := ws.normalize()
 	if err != nil {
 		return nil, &badRequestError{err}
@@ -240,26 +381,41 @@ func (s *Server) tune(ws WorkloadSpec) (*TuneResponse, error) {
 	key := ws.key()
 
 	s.mu.Lock()
-	e, ok := s.plans[key]
-	if ok {
+	for {
+		e, ok := s.plans[key]
+		if !ok {
+			break
+		}
 		s.mu.Unlock()
 		s.planCacheHits.Add(1)
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if e.err != nil {
+			// A coalesced search killed by another caller's cancellation
+			// is not this caller's failure: the entry is already deleted,
+			// so retry with a fresh search instead of surfacing 500.
+			if ctx.Err() == nil &&
+				(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+				s.mu.Lock()
+				continue
+			}
 			return nil, e.err
 		}
 		resp := *e.resp
 		resp.Cached = true
 		return &resp, nil
 	}
-	e = &planEntry{ready: make(chan struct{})}
-	if len(s.plans) >= maxCachedPlans {
+	e := &planEntry{ready: make(chan struct{})}
+	if len(s.plans) >= s.cacheCap {
 		s.evictOneLocked()
 	}
 	s.plans[key] = e
 	s.mu.Unlock()
 
-	e.resp, e.an, e.err = s.runTune(w, cl, space)
+	e.resp, e.an, e.err = s.runTune(ctx, ws, w, cl, space)
 	if e.err != nil {
 		// Do not cache failures: a later identical request retries.
 		s.mu.Lock()
@@ -274,27 +430,69 @@ func (s *Server) tune(ws WorkloadSpec) (*TuneResponse, error) {
 	return &resp, nil
 }
 
-func (s *Server) runTune(w plan.Workload, cl *hardware.Cluster, space core.Space) (*TuneResponse, *schedule.Analyzer, error) {
+// runTune answers a plan-cache miss: from the durable store when the
+// exact fingerprint was tuned by any earlier process, otherwise by a
+// fresh search — warm-started from the nearest stored neighbor when one
+// exists — whose result is then written through to the store.
+func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (*TuneResponse, *schedule.Analyzer, error) {
+	fp := ws.fingerprint()
+	if s.store != nil {
+		if rec, ok := s.store.Get(fp); ok {
+			s.storeHits.Add(1)
+			return &TuneResponse{
+				Plan:           rec.Plan,
+				Predicted:      rec.Predicted,
+				PredThroughput: rec.PredThroughput,
+				FromStore:      true,
+				StoreVersion:   rec.Version,
+			}, nil, nil
+		}
+	}
 	s.tunesRun.Add(1)
 	tn, err := core.New(w, cl, space)
 	if err != nil {
 		return nil, nil, &badRequestError{err}
 	}
-	res, err := tn.Tune()
+	if s.store != nil {
+		if nb, ok := s.store.Nearest(fp); ok {
+			tn.Warm = nb.Plan
+		}
+	}
+	res, err := tn.TuneContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &TuneResponse{
-		Plan:           res.Plan,
-		Predicted:      res.Predicted,
-		PredThroughput: res.PredThroughput,
-		Candidates:     res.Candidates,
-		SGPairs:        res.SGPairs,
-		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
-		EvalCacheHits:  res.EvalCacheHits,
-		EvalCacheMiss:  res.EvalCacheMisses,
-		EvalHitRate:    res.CacheHitRate(),
-	}, tn.An, nil
+	if res.WarmStarted {
+		s.warmStarts.Add(1)
+	}
+	resp := &TuneResponse{
+		Plan:              res.Plan,
+		Predicted:         res.Predicted,
+		PredThroughput:    res.PredThroughput,
+		Candidates:        res.Candidates,
+		SGPairs:           res.SGPairs,
+		ElapsedMS:         float64(res.Elapsed) / float64(time.Millisecond),
+		EvalCacheHits:     res.EvalCacheHits,
+		EvalCacheMiss:     res.EvalCacheMisses,
+		EvalHitRate:       res.CacheHitRate(),
+		WarmStarted:       res.WarmStarted,
+		WarmSeedObjective: res.WarmSeedObjective,
+		WarmPruned:        res.WarmPruned,
+		WarmAbortedPairs:  res.WarmAbortedPairs,
+	}
+	if s.store != nil {
+		// Best-effort write-through: a full disk must not fail the
+		// request — the plan is still correct and cached in memory.
+		if rec, err := s.store.Put(store.Record{
+			Fingerprint:    fp,
+			Plan:           res.Plan,
+			Predicted:      res.Predicted,
+			PredThroughput: res.PredThroughput,
+		}); err == nil {
+			resp.StoreVersion = rec.Version
+		}
+	}
+	return resp, tn.An, nil
 }
 
 // analyzerFor returns a calibrated analyzer for a spec, reusing the one
@@ -398,19 +596,23 @@ func (s *Server) handleStats(rw http.ResponseWriter, req *http.Request) {
 }
 
 // ListenAndServe runs the service at addr until ctx is canceled, then
-// shuts down gracefully, draining in-flight requests for up to grace.
+// shuts down gracefully, draining in-flight requests for up to grace and
+// stopping the job workers.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		s.Close()
 		return err // bind failure or unexpected server exit
 	case <-ctx.Done():
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
-	return srv.Shutdown(shutdownCtx)
+	err := srv.Shutdown(shutdownCtx)
+	s.Close()
+	return err
 }
 
 // Stats snapshots the service counters.
@@ -418,13 +620,36 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	size := len(s.plans)
 	s.mu.Unlock()
-	return Stats{
-		TuneRequests:     s.tuneRequests.Load(),
-		SimulateRequests: s.simulateRequests.Load(),
-		PlanCacheHits:    s.planCacheHits.Load(),
-		TunesRun:         s.tunesRun.Load(),
-		PlanCacheSize:    size,
+	st := Stats{
+		TuneRequests:       s.tuneRequests.Load(),
+		SimulateRequests:   s.simulateRequests.Load(),
+		PlanCacheHits:      s.planCacheHits.Load(),
+		TunesRun:           s.tunesRun.Load(),
+		PlanCacheSize:      size,
+		PlanCacheCap:       s.cacheCap,
+		PlanCacheEvictions: s.evictions.Load(),
+		StoreHits:          s.storeHits.Load(),
+		WarmStarts:         s.warmStarts.Load(),
 	}
+	if s.store != nil {
+		st.StoreSize = s.store.Len()
+	}
+	if runs := st.TunesRun; runs > 0 {
+		st.WarmStartHitRate = float64(st.WarmStarts) / float64(runs)
+	}
+	js := s.jobs.Stats()
+	st.JobsSubmitted = js.Submitted
+	st.JobsDeduped = js.Deduped
+	st.JobsDone = js.Done
+	st.JobsFailed = js.Failed
+	st.JobsCanceled = js.Canceled
+	st.QueueDepth = js.QueueDepth
+	st.JobWorkers = js.Workers
+	st.BusyWorkers = js.Busy
+	if js.Workers > 0 {
+		st.WorkerUtilization = float64(js.Busy) / float64(js.Workers)
+	}
+	return st
 }
 
 // badRequestError marks client-side failures (unknown model, bad shape).
