@@ -3,7 +3,7 @@ GO ?= go
 # (testing/quick's -quickchecks flag scales their MaxCountScale).
 QUICKCHECKS ?= 200
 
-.PHONY: ci vet build test race property bench serve
+.PHONY: ci vet build test race property bench serve fuzz load-smoke
 
 ci: vet build race property ## full tier-1 + race + property gate
 
@@ -16,8 +16,15 @@ build:
 test: ## the tier-1 verify
 	$(GO) build ./... && $(GO) test ./...
 
-race:
+race: ## includes the seeded jobs submit/cancel storm with goroutine-leak checks
 	$(GO) test -race ./...
+
+fuzz: ## fuzz smoke: HTTP JSON decode paths must 400 cleanly, never panic or 5xx
+	$(GO) test -fuzz=FuzzTuneRequest -fuzztime=10s ./internal/serve
+	$(GO) test -fuzz=FuzzJobSubmit -fuzztime=10s ./internal/serve
+
+load-smoke: ## 5-second in-process mixed-scenario load replay; fails on any 5xx
+	$(GO) run ./cmd/mistload -scenario mixed -inproc -duration 5s -seed 1 -concurrency 4
 
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)

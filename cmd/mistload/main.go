@@ -1,0 +1,134 @@
+// Command mistload replays a named load scenario against the tuning
+// service and prints a machine-readable JSON report (per-endpoint
+// p50/p95/p99 latency, throughput, status-code counts) suitable for
+// BENCH_*.json trajectory tracking.
+//
+// The op stream is deterministic in (-scenario, -seed): the same pair
+// replays the same request sequence, so two runs are comparable. Pick a
+// target explicitly: a live server (-addr) or an in-process one
+// (-inproc) built with the same -max-queue / -request-timeout knobs as
+// mistserve — the zero-network way to measure the serving hot path.
+//
+// Examples:
+//
+//	mistload -scenario mixed -inproc -duration 5s -seed 1
+//	mistload -scenario cold-storm -addr http://localhost:8080 -duration 30s -rate 50
+//	mistload -list
+//
+// Exit status: 0 on a clean run; 1 when the run saw server 5xx or
+// transport errors (pass -allow-5xx to report them without failing).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mistload: ")
+	var (
+		scenario    = flag.String("scenario", "mixed", "load scenario (see -list)")
+		seed        = flag.Int64("seed", 1, "op-stream seed (same seed: same request sequence)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to feed new requests")
+		maxOps      = flag.Int("max-ops", 0, "stop after this many requests (0: duration-bound only)")
+		concurrency = flag.Int("concurrency", 8, "parallel load workers")
+		rate        = flag.Float64("rate", 0, "target arrival rate in req/s (0: unpaced)")
+		addr        = flag.String("addr", "", "live server URL (e.g. http://localhost:8080)")
+		inproc      = flag.Bool("inproc", false, "run against an in-process server (required unless -addr is set)")
+		maxQueue    = flag.Int("max-queue", 0, "in-process server admission/job-queue bound (0: default 256)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "in-process server per-request deadline (0: none)")
+		workers     = flag.Int("workers", 2, "in-process server job workers")
+		out         = flag.String("out", "", "also write the JSON report to this file")
+		allow5xx    = flag.Bool("allow-5xx", false, "do not fail the run on server 5xx responses")
+		list        = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range load.ScenarioNames() {
+			fmt.Printf("%-16s %s\n", name, load.ScenarioDescription(name))
+		}
+		return
+	}
+	if *addr != "" && *inproc {
+		log.Fatal("-addr and -inproc are mutually exclusive")
+	}
+	if *addr == "" && !*inproc {
+		log.Fatal("choose a target: -inproc or -addr <url>")
+	}
+	// -max-ops means a count-bound run: the 5s -duration default would
+	// silently truncate it on slow machines, breaking replay
+	// comparability. An explicit -duration still acts as a cutoff.
+	if *maxOps > 0 {
+		durationSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				durationSet = true
+			}
+		})
+		if !durationSet {
+			*duration = 0
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := load.Options{
+		Scenario:    *scenario,
+		Seed:        *seed,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Duration:    *duration,
+		MaxOps:      *maxOps,
+		BaseURL:     *addr,
+	}
+	var target load.Target
+	if *addr == "" {
+		s := serve.New(
+			serve.WithJobWorkers(*workers),
+			serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
+		)
+		defer s.Close()
+		target = load.NewHandlerTarget(s.Handler())
+		log.Printf("replaying %q in-process (seed %d, %v, %d workers)",
+			*scenario, *seed, *duration, *concurrency)
+	} else {
+		target = &http.Client{Timeout: 2 * time.Minute}
+		log.Printf("replaying %q against %s (seed %d, %v, %d workers)",
+			*scenario, *addr, *seed, *duration, *concurrency)
+	}
+
+	rep, err := load.Run(ctx, target, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.TransportErrors > 0 {
+		log.Fatalf("FAIL: %d transport errors", rep.TransportErrors)
+	}
+	if rep.Server5xx > 0 && !*allow5xx {
+		log.Fatalf("FAIL: %d server 5xx responses", rep.Server5xx)
+	}
+}

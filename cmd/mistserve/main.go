@@ -33,18 +33,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mistserve: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain timeout")
-		storeDir = flag.String("store-dir", "", "durable plan-store directory (empty: in-memory only)")
-		cacheCap = flag.Int("cache-cap", 0, "in-memory plan-cache capacity (0: default 1024)")
-		workers  = flag.Int("workers", 0, "async job worker pool size (0: default 2)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		grace       = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain timeout")
+		storeDir    = flag.String("store-dir", "", "durable plan-store directory (empty: in-memory only)")
+		cacheCap    = flag.Int("cache-cap", 0, "in-memory plan-cache capacity (0: default 1024)")
+		workers     = flag.Int("workers", 0, "async job worker pool size (0: default 2)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrently executing requests per endpoint class (0: GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "admission wait-queue and async job-queue bound; overflow answers 429 (0: default 256)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline, propagated into running searches (0: none)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	opts := []serve.Option{serve.WithCacheCap(*cacheCap), serve.WithJobWorkers(*workers)}
+	opts := []serve.Option{
+		serve.WithCacheCap(*cacheCap),
+		serve.WithJobWorkers(*workers),
+		serve.WithLimits(serve.Limits{
+			MaxInflight:    *maxInflight,
+			MaxQueue:       *maxQueue,
+			RequestTimeout: *reqTimeout,
+		}),
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -57,7 +68,7 @@ func main() {
 		opts = append(opts, serve.WithStore(st))
 	}
 
-	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /healthz /stats)", *addr)
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /healthz /stats /metrics)", *addr)
 	err := serve.New(opts...).ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

@@ -163,7 +163,13 @@ func runBatch(file, storeDir string, workers int) error {
 		return fmt.Errorf("%s: no job specs", file)
 	}
 
-	opts := []serve.Option{serve.WithJobWorkers(workers)}
+	// Batch mode submits every spec up front before waiting, so the job
+	// queue must hold the whole file — size the admission bound to it
+	// instead of inheriting the serving default.
+	opts := []serve.Option{
+		serve.WithJobWorkers(workers),
+		serve.WithLimits(serve.Limits{MaxQueue: len(specs) + 1}),
+	}
 	if storeDir != "" {
 		st, err := store.Open(storeDir)
 		if err != nil {

@@ -140,6 +140,12 @@ func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate
 			if i >= len(shapes) {
 				return
 			}
+			// Per-request deadlines land here: a canceled search stops
+			// between shape batches instead of pricing out the sweep.
+			if err := t.ctxErr(); err != nil {
+				outs[i].err = err
+				return
+			}
 			price(i)
 		}
 	}

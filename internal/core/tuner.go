@@ -431,6 +431,9 @@ func (t *Tuner) tuneUniform(s, g, devPer int) (*interSolution, int, error) {
 	}
 	budget := t.Cluster.MemoryBudget() * planSafetyFraction
 	for _, c0 := range cands0 {
+		if err := t.ctxErr(); err != nil {
+			return nil, evaluated, err
+		}
 		sel := make([]candidate, 0, s)
 		feasible := true
 		for i := 0; i < s; i++ {

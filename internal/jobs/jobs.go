@@ -111,11 +111,12 @@ type Manager struct {
 	workers  int
 	queueCap int // <= 0: unbounded
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobHeap
-	jobs    map[string]*job
-	active  map[string]*job // dedup index: queued or running, by key
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobHeap
+	jobs     map[string]*job
+	active   map[string]*job // dedup index: queued or running, by key
+	settledQ []string        // job ids in settlement order, for O(1) eviction
 	nextID  uint64
 	closed  bool
 	baseCtx context.Context
@@ -167,7 +168,11 @@ func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, e
 		return Snapshot{}, false, ErrClosed
 	}
 	if key != "" {
-		if cur, ok := m.active[key]; ok {
+		// A running job with a cancellation pending is about to settle
+		// as canceled: attaching would silently discard the new work,
+		// so it gets a fresh job instead (the old job's settle path
+		// only clears the dedup index if it still owns it).
+		if cur, ok := m.active[key]; ok && !cur.cancelWanted {
 			// A more urgent duplicate raises the queued original so the
 			// dedup never demotes the work below what any caller asked.
 			if priority > cur.priority {
@@ -213,23 +218,22 @@ func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, e
 // Live (queued/running) jobs are never evicted.
 const maxRetainedJobs = 4096
 
-// evictSettledLocked drops the oldest settled jobs while the table
-// exceeds the retention bound. Call with mu held.
+// settleLocked records a job's terminal transition: the settlement-order
+// FIFO feeds O(1) eviction, so Submit never scans the table. Call with
+// mu held, exactly once per job, after its state turns terminal.
+func (m *Manager) settleLocked(j *job) {
+	m.settledQ = append(m.settledQ, j.id)
+	close(j.done)
+}
+
+// evictSettledLocked drops the earliest-settled jobs while the table
+// exceeds the retention bound (live jobs are never evicted; with every
+// retained job live, the queueCap is the backstop). Call with mu held.
 func (m *Manager) evictSettledLocked() {
-	for len(m.jobs) > maxRetainedJobs {
-		var oldest *job
-		for _, j := range m.jobs {
-			if !j.state.Terminal() {
-				continue
-			}
-			if oldest == nil || j.seq < oldest.seq {
-				oldest = j
-			}
-		}
-		if oldest == nil {
-			return // everything live; the queueCap (if set) is the backstop
-		}
-		delete(m.jobs, oldest.id)
+	for len(m.jobs) > maxRetainedJobs && len(m.settledQ) > 0 {
+		id := m.settledQ[0]
+		m.settledQ = m.settledQ[1:]
+		delete(m.jobs, id)
 	}
 }
 
@@ -301,7 +305,7 @@ func (m *Manager) worker() {
 		if j.key != "" && m.active[j.key] == j {
 			delete(m.active, j.key)
 		}
-		close(j.done)
+		m.settleLocked(j)
 		m.mu.Unlock()
 	}
 }
@@ -356,7 +360,7 @@ func (m *Manager) Cancel(id string) bool {
 			delete(m.active, j.key)
 		}
 		m.finCancel.Add(1)
-		close(j.done)
+		m.settleLocked(j)
 	case StateRunning:
 		j.cancelWanted = true
 		j.cancelRunning()
@@ -377,8 +381,11 @@ func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
 	case <-ctx.Done():
 		return Snapshot{}, ctx.Err()
 	}
-	snap, _ := m.Get(id)
-	return snap, nil
+	// Snapshot through the held pointer, not the table: the settled job
+	// may already have been evicted from m.jobs by newer submissions.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.snapshotLocked(), nil
 }
 
 // List snapshots every known job, oldest first.
@@ -433,7 +440,7 @@ func (m *Manager) Close() {
 			delete(m.active, j.key)
 		}
 		m.finCancel.Add(1)
-		close(j.done)
+		m.settleLocked(j)
 	}
 	m.cancel() // abort running tasks
 	m.cond.Broadcast()

@@ -1,0 +1,167 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Same (scenario, seed) must yield a byte-identical op sequence — the
+// harness's replayability contract.
+func TestStreamDeterministic(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		a, err := NewStream(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewStream(name, 1)
+		c, _ := NewStream(name, 2)
+		differs := false
+		for i := 0; i < 1000; i++ {
+			oa, _ := json.Marshal(a.Next())
+			ob, _ := json.Marshal(b.Next())
+			oc, _ := json.Marshal(c.Next())
+			if !bytes.Equal(oa, ob) {
+				t.Fatalf("%s op %d: seed-1 streams diverge:\n%s\nvs\n%s", name, i, oa, ob)
+			}
+			if !bytes.Equal(oa, oc) {
+				differs = true
+			}
+		}
+		// cold-storm is a pure index sweep (maximally distinct cache
+		// keys), so it is deliberately seed-independent.
+		if !differs && name != "cold-storm" {
+			t.Errorf("%s: seeds 1 and 2 produced identical 1000-op streams", name)
+		}
+	}
+}
+
+func TestScenarioNamesAndUnknown(t *testing.T) {
+	names := ScenarioNames()
+	want := map[string]bool{"cold-storm": true, "warm-repeat": true, "simulate-burst": true, "job-churn": true, "mixed": true}
+	if len(names) != len(want) {
+		t.Fatalf("scenarios %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected scenario %q", n)
+		}
+		if ScenarioDescription(n) == "" {
+			t.Errorf("scenario %q has no description", n)
+		}
+	}
+	if _, err := NewStream("nope", 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunMaxOpsExact(t *testing.T) {
+	s := serve.New()
+	defer s.Close()
+	rep, err := Run(context.Background(), NewHandlerTarget(s.Handler()), Options{
+		Scenario: "warm-repeat", Seed: 7, Concurrency: 2, MaxOps: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 12 {
+		t.Errorf("requests %d, want 12", rep.Requests)
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("transport errors %d", rep.TransportErrors)
+	}
+	ep := rep.Endpoints["/tune"]
+	if ep == nil || ep.Requests != 12 || ep.StatusCounts["200"] != 12 {
+		t.Fatalf("endpoint report %+v", rep.Endpoints)
+	}
+	if ep.P50Ms <= 0 || ep.P99Ms < ep.P50Ms || ep.MaxMs < ep.P99Ms {
+		t.Errorf("implausible quantiles %+v", *ep)
+	}
+}
+
+// The acceptance scenario, shrunk for test time: an in-process mixed
+// run is 5xx-free and its per-endpoint counts reconcile exactly with
+// the server's /metrics totals.
+func TestMixedInprocZero5xxAndMetricsReconcile(t *testing.T) {
+	s := serve.New(serve.WithJobWorkers(2))
+	defer s.Close()
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := Run(context.Background(), NewHandlerTarget(s.Handler()), Options{
+		Scenario: "mixed", Seed: 1, Concurrency: 4, Duration: dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Server5xx != 0 {
+		t.Errorf("saw %d server 5xx: %+v", rep.Server5xx, rep.StatusCounts)
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("transport errors %d", rep.TransportErrors)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v", rep.ThroughputRPS)
+	}
+
+	// Reconcile: the server's request counters must match the load
+	// report per endpoint — same labels, same totals.
+	counters, _ := s.Metrics().Gather()
+	serverByEp := map[string]uint64{}
+	for _, c := range counters {
+		if c.Name == "mist_http_requests_total" {
+			serverByEp[c.Labels["endpoint"]] += c.Value
+		}
+	}
+	for ep, er := range rep.Endpoints {
+		if serverByEp[ep] != er.Requests {
+			t.Errorf("endpoint %s: server saw %d, load report says %d", ep, serverByEp[ep], er.Requests)
+		}
+	}
+	var serverTotal uint64
+	for _, v := range serverByEp {
+		serverTotal += v
+	}
+	if serverTotal != rep.Requests {
+		t.Errorf("server total %d != report total %d", serverTotal, rep.Requests)
+	}
+}
+
+// job-churn exercises submit/cancel/list against the real pool without
+// leaving the server wedged: after the run the server still answers.
+func TestJobChurnLeavesServerHealthy(t *testing.T) {
+	s := serve.New(serve.WithJobWorkers(2))
+	defer s.Close()
+	rep, err := Run(context.Background(), NewHandlerTarget(s.Handler()), Options{
+		Scenario: "job-churn", Seed: 3, Concurrency: 4, MaxOps: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server5xx != 0 {
+		t.Errorf("5xx during churn: %+v", rep.StatusCounts)
+	}
+	st := s.Stats()
+	if st.JobsSubmitted == 0 {
+		t.Error("churn submitted no jobs")
+	}
+	if st.QueueDepth > 256 {
+		t.Errorf("queue depth %d grew past the bound", st.QueueDepth)
+	}
+}
+
+func TestRunRequiresBound(t *testing.T) {
+	s := serve.New()
+	defer s.Close()
+	if _, err := Run(context.Background(), NewHandlerTarget(s.Handler()), Options{Scenario: "mixed", Seed: 1}); err == nil {
+		t.Error("unbounded run accepted")
+	}
+}

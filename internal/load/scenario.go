@@ -1,0 +1,234 @@
+// Package load is the deterministic load harness for the tuning
+// service: seeded scenario generators that compose workload mixes from
+// the model catalog into a replayable request stream, and a runner that
+// replays the stream — against a live server or an in-process handler —
+// recording per-endpoint latency histograms (p50/p95/p99), throughput,
+// and status-code counts into a machine-readable report.
+//
+// Determinism contract: a Stream is a pure function of (scenario, seed).
+// Two streams with the same pair emit byte-identical op sequences, so a
+// load run is replayable and regressions are diffable. What is NOT
+// deterministic is wall-clock interleaving under concurrency — the
+// report aggregates are stable, the arrival order at the server is not.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// OpKind names one request type in a scenario stream.
+type OpKind string
+
+// Op kinds map one-to-one onto service endpoints; OpJobCancel resolves
+// its target job id at run time (see runner).
+const (
+	OpTune      OpKind = "tune"      // POST /tune
+	OpSimulate  OpKind = "simulate"  // POST /simulate
+	OpJobSubmit OpKind = "jobSubmit" // POST /jobs
+	OpJobCancel OpKind = "jobCancel" // DELETE /jobs/{id}
+	OpJobList   OpKind = "jobList"   // GET /jobs
+	OpStats     OpKind = "stats"     // GET /stats
+)
+
+// Op is one replayable request: a kind plus the POST body (nil for
+// GET/DELETE kinds).
+type Op struct {
+	Kind OpKind          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// wireSpec mirrors the service's workload-spec wire format; fields
+// marshal in declaration order, so op bodies are byte-stable.
+type wireSpec struct {
+	Model    string `json:"model"`
+	GPUs     int    `json:"gpus"`
+	Batch    int    `json:"batch"`
+	Seq      int    `json:"seq,omitempty"`
+	Space    string `json:"space,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+func mustBody(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("load: marshaling op body: %v", err))
+	}
+	return data
+}
+
+// warmPool is the small fixed spec set behind the warm/repeat paths:
+// requests for these hit the plan cache (or coalesce) after first
+// contact. Cheap specs keep an in-process run CPU-light.
+var warmPool = []wireSpec{
+	{Model: "gpt3-1.3b", GPUs: 2, Batch: 8, Seq: 512, Space: "deepspeed"},
+	{Model: "gpt3-1.3b", GPUs: 2, Batch: 4, Seq: 512, Space: "deepspeed"},
+	{Model: "llama-1.3b", GPUs: 2, Batch: 8, Seq: 512, Space: "deepspeed"},
+	{Model: "falcon-1.3b", GPUs: 2, Batch: 4, Seq: 512, Space: "deepspeed"},
+}
+
+// coldModels rotate through the cold-storm path; seq varies per op so
+// every spec is a distinct plan-cache key (a fresh search).
+var coldModels = []string{"gpt3-1.3b", "llama-1.3b", "falcon-1.3b"}
+
+// scenarioDef generates ops for one named profile. next receives the
+// scenario's private rng and the 0-based op index.
+type scenarioDef struct {
+	name string
+	desc string
+	next func(rng *rand.Rand, i int) Op
+}
+
+// coldSeqSteps is how many distinct seq values the cold path cycles
+// through (staying under the serving layer's 65536 cap); the full key
+// space is len(coldModels) * 2 batches * coldSeqSteps distinct triples.
+const coldSeqSteps = 4080
+
+func coldTuneOp(_ *rand.Rand, i int) Op {
+	// Every field derives from the op index, so the first
+	// len(coldModels)*2*coldSeqSteps (~24k) cold ops are pairwise
+	// distinct plan-cache keys — genuinely all search-path misses. (The
+	// default 1024-entry plan cache evicts long before a key repeats,
+	// so even wrapped runs stay miss-dominated.)
+	spec := wireSpec{
+		Model: coldModels[i%len(coldModels)],
+		GPUs:  2,
+		Batch: 4 * (1 + (i/len(coldModels))%2), // 4 or 8
+		Seq:   256 + 16*((i/(2*len(coldModels)))%coldSeqSteps),
+		Space: "deepspeed",
+	}
+	return Op{Kind: OpTune, Body: mustBody(spec)}
+}
+
+func warmTuneOp(rng *rand.Rand) Op {
+	return Op{Kind: OpTune, Body: mustBody(warmPool[rng.Intn(len(warmPool))])}
+}
+
+func simulateOp(rng *rand.Rand) Op {
+	// /simulate with no inline plan: tunes on demand through the plan
+	// cache, then executes on the engine — repeats hit the cache.
+	return Op{Kind: OpSimulate, Body: mustBody(warmPool[rng.Intn(len(warmPool))])}
+}
+
+func jobSubmitOp(rng *rand.Rand) Op {
+	spec := warmPool[rng.Intn(len(warmPool))]
+	// A few distinct seq values: some submissions dedup onto active
+	// jobs, others enqueue fresh work.
+	spec.Seq = 512 + 128*rng.Intn(4)
+	spec.Priority = rng.Intn(4)
+	return Op{Kind: OpJobSubmit, Body: mustBody(spec)}
+}
+
+var scenarios = []scenarioDef{
+	{
+		name: "cold-storm",
+		desc: "distinct specs per request: every tune is a plan-cache miss (search hot path)",
+		next: func(rng *rand.Rand, i int) Op { return coldTuneOp(rng, i) },
+	},
+	{
+		name: "warm-repeat",
+		desc: "small fixed spec pool: repeats hit the plan cache / coalesce onto in-flight searches",
+		next: func(rng *rand.Rand, i int) Op { return warmTuneOp(rng) },
+	},
+	{
+		name: "simulate-burst",
+		desc: "execution-engine bursts via /simulate with on-demand tuning",
+		next: func(rng *rand.Rand, i int) Op { return simulateOp(rng) },
+	},
+	{
+		name: "job-churn",
+		desc: "async submit/cancel/list churn against the bounded job pool",
+		next: func(rng *rand.Rand, i int) Op {
+			switch p := rng.Intn(100); {
+			case p < 55:
+				return jobSubmitOp(rng)
+			case p < 80:
+				return Op{Kind: OpJobCancel}
+			case p < 90:
+				return Op{Kind: OpJobList}
+			default:
+				return Op{Kind: OpStats}
+			}
+		},
+	},
+	{
+		name: "mixed",
+		desc: "production-shaped mix: warm+cold tunes, simulation, job churn, stats polling",
+		next: func(rng *rand.Rand, i int) Op {
+			switch p := rng.Intn(100); {
+			case p < 30:
+				return warmTuneOp(rng)
+			case p < 40:
+				return coldTuneOp(rng, i)
+			case p < 65:
+				return simulateOp(rng)
+			case p < 85:
+				return jobSubmitOp(rng)
+			case p < 92:
+				return Op{Kind: OpJobCancel}
+			case p < 96:
+				return Op{Kind: OpJobList}
+			default:
+				return Op{Kind: OpStats}
+			}
+		},
+	},
+}
+
+func scenarioByName(name string) (scenarioDef, error) {
+	for _, s := range scenarios {
+		if s.name == name {
+			return s, nil
+		}
+	}
+	return scenarioDef{}, fmt.Errorf("load: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// ScenarioNames lists the available scenarios, sorted.
+func ScenarioNames() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScenarioDescription returns the one-line description of a scenario
+// ("" for unknown names).
+func ScenarioDescription(name string) string {
+	for _, s := range scenarios {
+		if s.name == name {
+			return s.desc
+		}
+	}
+	return ""
+}
+
+// Stream is a deterministic op source: the same (scenario, seed) pair
+// always yields the same sequence. Next is not safe for concurrent use —
+// the runner serializes generation on its feeder goroutine, which is
+// exactly what keeps the emitted sequence deterministic.
+type Stream struct {
+	scen scenarioDef
+	rng  *rand.Rand
+	n    int
+}
+
+// NewStream builds the op stream for a named scenario.
+func NewStream(scenario string, seed int64) (*Stream, error) {
+	scen, err := scenarioByName(scenario)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{scen: scen, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next emits the next op in the sequence.
+func (s *Stream) Next() Op {
+	op := s.scen.next(s.rng, s.n)
+	s.n++
+	return op
+}

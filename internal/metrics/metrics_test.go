@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly: p50 ~ 500ms, p99 ~ 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Max != 1000*time.Millisecond {
+		t.Errorf("max %v", s.Max)
+	}
+	// Log-spaced buckets bound the relative error by the bucket factor
+	// (2x); interpolation tightens it, but assert only the guarantee.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("q%.2f = %v, want within 2x of %v", c.q, got, c.want)
+		}
+	}
+	if m := s.Mean(); m < 400*time.Millisecond || m > 600*time.Millisecond {
+		t.Errorf("mean %v, want ~500ms", m)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram q99 = %v", q)
+	}
+	h.Observe(2 * time.Hour) // beyond the last bucket bound
+	s := h.Snapshot()
+	if s.Buckets[numBuckets] != 1 {
+		t.Errorf("overflow bucket not hit: %+v", s.Buckets)
+	}
+	if q := s.Quantile(0.5); q != 2*time.Hour {
+		t.Errorf("overflow quantile %v, want the observed max", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1e6)) * time.Microsecond)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count %d, want %d", s.Count, workers*per)
+	}
+	sum := uint64(0)
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Errorf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestRegistrySeriesIdentityAndGather(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", Labels{"endpoint": "/tune", "code": "200"})
+	b := r.Counter("reqs", Labels{"code": "200", "endpoint": "/tune"}) // same series, reordered labels
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Add(3)
+	r.Counter("reqs", Labels{"endpoint": "/tune", "code": "429"}).Inc()
+	r.Histogram("lat", Labels{"endpoint": "/tune"}).Observe(time.Millisecond)
+
+	cs, hs := r.Gather()
+	if len(cs) != 2 || len(hs) != 1 {
+		t.Fatalf("gather: %d counters %d hists", len(cs), len(hs))
+	}
+	total := uint64(0)
+	for _, c := range cs {
+		total += c.Value
+	}
+	if total != 4 {
+		t.Errorf("counter total %d, want 4", total)
+	}
+	if hs[0].Snap.Count != 1 {
+		t.Errorf("hist count %d", hs[0].Snap.Count)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mist_http_requests_total", Labels{"endpoint": "/tune", "code": "200"}).Add(7)
+	r.Histogram("mist_http_request_seconds", Labels{"endpoint": "/tune"}).Observe(30 * time.Microsecond)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mist_http_requests_total counter",
+		`mist_http_requests_total{code="200",endpoint="/tune"} 7`,
+		"# TYPE mist_http_request_seconds histogram",
+		`mist_http_request_seconds_bucket{endpoint="/tune",le="5e-05"} 1`,
+		`mist_http_request_seconds_bucket{endpoint="/tune",le="+Inf"} 1`,
+		`mist_http_request_seconds_count{endpoint="/tune"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Stable across calls.
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if buf2.String() != out {
+		t.Error("exposition output not stable across calls")
+	}
+}

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// -update regenerates the golden fixtures instead of diffing against
+// them: go test ./internal/plan -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPlan is a fixed, fully-populated plan: every wire field of
+// Stage/Shape/Knobs is non-zero somewhere so field renames, type
+// changes, or dropped fields all show up in the diff.
+func goldenPlan() *Plan {
+	return &Plan{
+		GradAccum: 2,
+		Stages: []Stage{
+			{
+				Shape: schedule.StageShape{
+					B: 2, DP: 2, TP: 1, ZeRO: 1,
+					HasPre: true, NumStages: 2, StageIdx: 0, GradAccum: 2,
+				},
+				Knobs: schedule.Knobs{Layers: 12, Ckpt: 6, WO: 0.25, GO: 0, OO: 0.5, AO: 0.125},
+			},
+			{
+				Shape: schedule.StageShape{
+					B: 2, DP: 1, TP: 2, ZeRO: 0,
+					HasPost: true, NumStages: 2, StageIdx: 1, GradAccum: 2,
+				},
+				Knobs: schedule.Knobs{Layers: 12},
+			},
+		},
+	}
+}
+
+// TestGoldenPlanJSON pins the plan wire format: serialization drift is
+// an explicit golden-file diff, not a silent break of stored plans.
+func TestGoldenPlanJSON(t *testing.T) {
+	got, err := json.MarshalIndent(goldenPlan(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "plan.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("plan JSON drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to accept)",
+			path, got, want)
+	}
+}
+
+// TestGoldenPlanRoundTrip pins the decode direction: yesterday's
+// documents must load into today's structs unchanged.
+func TestGoldenPlanRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "plan.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatalf("golden plan no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(&p, goldenPlan()) {
+		t.Errorf("golden plan decodes to a different value:\n%+v\nvs\n%+v", p, goldenPlan())
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Limits is the serving layer's backpressure contract. Each expensive
+// synchronous endpoint class (/tune, /simulate) gets its own admission
+// gate: at most MaxInflight requests execute at once, at most MaxQueue
+// more wait for a slot, and anything beyond that is refused immediately
+// with 429 and a Retry-After hint — the server never hangs and never
+// queues unboundedly. MaxQueue also bounds the async job queue (POST
+// /jobs past the bound answers 429 the same way). RequestTimeout is the
+// per-request deadline, propagated through the tuner's context so a
+// search in progress is abandoned (504) rather than left running for a
+// client that has given up.
+type Limits struct {
+	// MaxInflight caps concurrently executing requests per endpoint
+	// class (default: GOMAXPROCS, min 2).
+	MaxInflight int
+	// MaxQueue caps requests waiting for an execution slot per class,
+	// and the async job queue depth (default 256; values < 0 mean 0 —
+	// refuse whenever saturated).
+	MaxQueue int
+	// RequestTimeout bounds one synchronous request end to end,
+	// including admission wait (default 0: no deadline).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s;
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+}
+
+const defaultMaxQueue = 256
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxInflight < 1 {
+		l.MaxInflight = maxInflightDefault()
+	}
+	if l.MaxQueue == 0 {
+		l.MaxQueue = defaultMaxQueue
+	}
+	if l.MaxQueue < 0 {
+		l.MaxQueue = 0
+	}
+	if l.RetryAfter <= 0 {
+		l.RetryAfter = time.Second
+	}
+	return l
+}
+
+func maxInflightDefault() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// overloadError is the admission gate's refusal: the endpoint's run
+// slots and wait queue are both full.
+type overloadError struct {
+	endpoint   string
+	retryAfter time.Duration
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("serve: %s overloaded (admission queue full), retry after %v",
+		e.endpoint, e.retryAfter)
+}
+
+// gate is one endpoint class's admission control: a slot semaphore plus
+// a bounded wait counter. acquire either returns promptly with an
+// overloadError (queue full) or waits — bounded by the request context —
+// for a slot.
+type gate struct {
+	endpoint   string
+	slots      chan struct{}
+	waiting    atomic.Int64
+	maxWait    int64
+	retryAfter time.Duration
+}
+
+func newGate(endpoint string, l Limits) *gate {
+	return &gate{
+		endpoint:   endpoint,
+		slots:      make(chan struct{}, l.MaxInflight),
+		maxWait:    int64(l.MaxQueue),
+		retryAfter: l.RetryAfter,
+	}
+}
+
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy: join the wait queue if it has room. The atomic
+	// add is the admission decision, so the bound is strict — waiting
+	// never exceeds maxWait.
+	if g.waiting.Add(1) > g.maxWait {
+		g.waiting.Add(-1)
+		return &overloadError{endpoint: g.endpoint, retryAfter: g.retryAfter}
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// Metric family names exposed at /metrics and folded into /stats.
+const (
+	metricRequestsTotal  = "mist_http_requests_total"
+	metricRequestSeconds = "mist_http_request_seconds"
+)
+
+// statusRecorder captures the response code written by a handler so the
+// instrumentation middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// wrap is the middleware stack applied to every route: per-request
+// deadline, admission gate (nil for cheap endpoints), and latency +
+// status-code instrumentation under a stable endpoint label. The
+// histogram is resolved once at mount time and code counters are cached
+// per route (registry pointers are stable), so the per-request cost is
+// a short map lookup plus atomic adds — no label allocation on the hot
+// path this package exists to measure.
+func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Histogram(metricRequestSeconds, metrics.Labels{"endpoint": endpoint})
+	var mu sync.Mutex
+	codeCounters := map[int]*metrics.Counter{}
+	observe := func(code int, d time.Duration) {
+		mu.Lock()
+		c, ok := codeCounters[code]
+		if !ok {
+			c = s.metrics.Counter(metricRequestsTotal, metrics.Labels{
+				"endpoint": endpoint, "code": strconv.Itoa(code),
+			})
+			codeCounters[code] = c
+		}
+		mu.Unlock()
+		c.Inc()
+		hist.Observe(d)
+		if code == http.StatusTooManyRequests {
+			s.rejected429.Add(1)
+		}
+	}
+	return func(rw http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		if s.limits.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(req.Context(), s.limits.RequestTimeout)
+			defer cancel()
+			req = req.WithContext(ctx)
+		}
+		sr := &statusRecorder{ResponseWriter: rw, code: http.StatusOK}
+		if g != nil {
+			if err := g.acquire(req.Context()); err != nil {
+				writeError(sr, statusFor(err), err)
+				observe(sr.code, time.Since(start))
+				return
+			}
+			defer g.release()
+		}
+		h(sr, req)
+		observe(sr.code, time.Since(start))
+	}
+}
+
+// EndpointStats is the /stats view of one instrumented endpoint.
+type EndpointStats struct {
+	Endpoint string            `json:"endpoint"`
+	Requests uint64            `json:"requests"`
+	Codes    map[string]uint64 `json:"codes"`
+	P50Ms    float64           `json:"p50Ms"`
+	P95Ms    float64           `json:"p95Ms"`
+	P99Ms    float64           `json:"p99Ms"`
+	MeanMs   float64           `json:"meanMs"`
+	MaxMs    float64           `json:"maxMs"`
+}
+
+// httpStats folds the metrics registry into per-endpoint summaries,
+// sorted by endpoint for stable /stats output.
+func (s *Server) httpStats() []EndpointStats {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	sums := s.metrics.SummarizeEndpoints(metricRequestsTotal, metricRequestSeconds)
+	out := make([]EndpointStats, len(sums))
+	for i, es := range sums {
+		out[i] = EndpointStats{
+			Endpoint: es.Endpoint,
+			Requests: es.Requests,
+			Codes:    es.Codes,
+			P50Ms:    ms(es.P50),
+			P95Ms:    ms(es.P95),
+			P99Ms:    ms(es.P99),
+			MeanMs:   ms(es.Mean),
+			MaxMs:    ms(es.Max),
+		}
+	}
+	return out
+}
+
+// handleMetrics renders the Prometheus text exposition: request
+// counters and latency histograms from the registry, plus point-in-time
+// gauges derived from the service state.
+func (s *Server) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	var buf bytes.Buffer
+	s.metrics.WritePrometheus(&buf)
+	// scalarStats: the per-endpoint HTTP fold would re-Gather the
+	// registry just rendered above, only to be discarded here.
+	st := s.scalarStats()
+	gauges := []struct {
+		name string
+		val  float64
+	}{
+		{"mist_plan_cache_size", float64(st.PlanCacheSize)},
+		{"mist_plan_store_size", float64(st.StoreSize)},
+		{"mist_jobs_queue_depth", float64(st.QueueDepth)},
+		{"mist_jobs_busy_workers", float64(st.BusyWorkers)},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.val)
+	}
+	counters := []struct {
+		name string
+		val  uint64
+	}{
+		{"mist_tunes_run_total", st.TunesRun},
+		{"mist_plan_cache_hits_total", st.PlanCacheHits},
+		{"mist_plan_cache_evictions_total", st.PlanCacheEvictions},
+		{"mist_store_hits_total", st.StoreHits},
+		{"mist_warm_starts_total", st.WarmStarts},
+		{"mist_http_rejected_total", st.Rejected429},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.val)
+	}
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(buf.Bytes())
+}
+
+// retryAfterSeconds renders a Retry-After header value, rounding up so
+// a sub-second hint never becomes "0".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

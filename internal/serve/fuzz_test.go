@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// expensiveValidSpec reports whether data decodes into a spec the
+// service would accept AND whose search is too costly for fuzz
+// throughput. Those are skipped: the fuzz targets assert the decode and
+// validation path (malformed input -> clean 4xx, never a panic or 5xx),
+// not search performance.
+func expensiveValidSpec(data []byte) bool {
+	var tr TuneRequest
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return false
+	}
+	ws := tr.WorkloadSpec
+	if _, _, _, err := ws.normalize(); err != nil {
+		return false
+	}
+	// normalize has filled defaults (seq 2048 on L4), so these bounds
+	// are on the resolved spec.
+	return ws.GPUs > 2 || ws.Batch > 8 || ws.Seq > 2048
+}
+
+func fuzzSeeds(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"model":"gpt3-1.3b","gpus":2,"batch":4,"seq":512,"space":"deepspeed"}`),
+		[]byte(`{"model":"gpt3-1.3b","gpus":-2,"batch":0}`),
+		[]byte(`{"model":"","gpus":1e99,"batch":{}}`),
+		[]byte(`{"gpus":"two"}`),
+		[]byte(`{`),
+		[]byte(``),
+		[]byte(`null`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{"model":"gpt3-1.3b","gpus":2,"batch":4,"space":"nope"}`),
+		[]byte(`{"model":"gpt3-1.3b","gpus":3,"batch":4,"platform":"tpu"}`),
+		[]byte(`{"model":"gpt3-1.3b","gpus":2,"batch":4,"seq":-7}`),
+		[]byte(`{"model":"gpt3-1.3b","gpus":1000000000,"batch":99999999999}`),
+		[]byte(`{"jobs":[{"model":"gpt3-1.3b","gpus":2,"batch":4},{"model":"x"}],"priority":-9}`),
+		[]byte("\xff\xfe{}"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+// FuzzTuneRequest: arbitrary /tune bodies must never panic the handler
+// or produce a 5xx — malformed input is a clean 400.
+func FuzzTuneRequest(f *testing.F) {
+	fuzzSeeds(f)
+	s := New()
+	f.Cleanup(s.Close)
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if expensiveValidSpec(data) {
+			t.Skip("valid but expensive spec: cost, not a decode-path case")
+		}
+		req := httptest.NewRequest(http.MethodPost, "/tune", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic fails the fuzz run
+		if rec.Code >= 500 {
+			t.Fatalf("/tune returned %d for body %q: %s", rec.Code, data, rec.Body.String())
+		}
+	})
+}
+
+// FuzzJobSubmit: arbitrary POST /jobs bodies (single and batch shapes)
+// must yield 202/4xx, never a panic or 5xx. Backpressure 429 is an
+// acceptable outcome — the queue is bounded tightly here on purpose.
+func FuzzJobSubmit(f *testing.F) {
+	fuzzSeeds(f)
+	s := New(WithJobWorkers(1), WithLimits(Limits{MaxQueue: 8}))
+	f.Cleanup(s.Close)
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if expensiveValidSpec(data) {
+			t.Skip("valid but expensive spec")
+		}
+		// Batch bodies: skip when any entry is valid-but-expensive.
+		var jr JobsSubmitRequest
+		if json.Unmarshal(data, &jr) == nil {
+			for _, spec := range jr.Jobs {
+				entry, _ := json.Marshal(TuneRequest{WorkloadSpec: spec.WorkloadSpec})
+				if expensiveValidSpec(entry) {
+					t.Skip("batch contains an expensive valid spec")
+				}
+			}
+		}
+		req := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("/jobs returned %d for body %q: %s", rec.Code, data, rec.Body.String())
+		}
+	})
+}

@@ -208,12 +208,9 @@ func (s *Server) handleJobCancel(rw http.ResponseWriter, req *http.Request) {
 }
 
 func statusForSubmit(err error) int {
-	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, jobs.ErrClosed):
+	if errors.Is(err, jobs.ErrClosed) {
 		return http.StatusServiceUnavailable
-	default:
-		return statusFor(err)
 	}
+	// jobs.ErrQueueFull maps to 429 (with Retry-After) via statusFor.
+	return statusFor(err)
 }

@@ -19,7 +19,18 @@
 //	GET  /healthz    — liveness probe.
 //	GET  /stats      — request counters, plan-cache occupancy/evictions,
 //	                   job-queue depth and worker utilization, plan-store
-//	                   size and warm-start hit rate.
+//	                   size and warm-start hit rate, per-endpoint latency
+//	                   quantiles and status-code counts.
+//	GET  /metrics    — Prometheus text exposition of the same counters
+//	                   and latency histograms.
+//
+// The service degrades under load instead of hanging: every expensive
+// synchronous endpoint class sits behind a bounded admission gate (at
+// most MaxInflight executing, MaxQueue waiting; beyond that the request
+// is refused immediately with 429 and a Retry-After hint), the async job
+// queue is bounded the same way, and an optional per-request deadline is
+// propagated through the tuner's context so abandoned searches stop
+// burning CPU (504 on expiry). See Limits.
 //
 // With a plan store attached (WithStore), every tuned plan is durably
 // written to disk and served back after a restart without re-searching;
@@ -47,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hardware"
 	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/schedule"
@@ -67,12 +79,30 @@ type WorkloadSpec struct {
 	Space    string `json:"space,omitempty"` // mist|megatron|deepspeed|aceso|3d|uniform
 }
 
+// Hard spec ceilings: requests beyond them are certainly abusive or
+// mistaken (the search cost grows with each), so they are refused as
+// bad requests instead of admitted into an unbounded search.
+const (
+	maxSpecGPUs  = 4096
+	maxSpecBatch = 1 << 16
+	maxSpecSeq   = 1 << 16
+)
+
 // normalize fills defaults and returns the resolved workload pieces.
 func (ws *WorkloadSpec) normalize() (plan.Workload, *hardware.Cluster, core.Space, error) {
 	var zero plan.Workload
 	cfg, err := model.ByName(ws.Model)
 	if err != nil {
 		return zero, nil, core.Space{}, err
+	}
+	if ws.GPUs > maxSpecGPUs {
+		return zero, nil, core.Space{}, fmt.Errorf("gpus %d exceeds limit %d", ws.GPUs, maxSpecGPUs)
+	}
+	if ws.Batch > maxSpecBatch {
+		return zero, nil, core.Space{}, fmt.Errorf("batch %d exceeds limit %d", ws.Batch, maxSpecBatch)
+	}
+	if ws.Seq > maxSpecSeq {
+		return zero, nil, core.Space{}, fmt.Errorf("seq %d exceeds limit %d", ws.Seq, maxSpecSeq)
 	}
 	if ws.Platform == "" {
 		ws.Platform = "l4"
@@ -242,6 +272,12 @@ type Stats struct {
 	JobWorkers        int     `json:"jobWorkers"`
 	BusyWorkers       int     `json:"busyWorkers"`
 	WorkerUtilization float64 `json:"workerUtilization"`
+
+	// Backpressure and the HTTP surface: total 429s issued (admission
+	// gates and the job-queue bound) and per-endpoint request counts,
+	// status codes, and latency quantiles from the metrics registry.
+	Rejected429 uint64          `json:"rejected429"`
+	HTTP        []EndpointStats `json:"http,omitempty"`
 }
 
 // planEntry is one plan-cache slot; ready closes when the tuner run
@@ -272,9 +308,15 @@ type Server struct {
 	mu    sync.Mutex
 	plans map[string]*planEntry
 
-	cacheCap int
-	store    *store.Store
-	jobs     *jobs.Manager
+	cacheCap   int
+	store      *store.Store
+	jobs       *jobs.Manager
+	jobWorkers int
+
+	limits       Limits
+	metrics      *metrics.Registry
+	tuneGate     *gate
+	simulateGate *gate
 
 	tuneRequests     atomic.Uint64
 	simulateRequests atomic.Uint64
@@ -283,6 +325,7 @@ type Server struct {
 	evictions        atomic.Uint64
 	storeHits        atomic.Uint64
 	warmStarts       atomic.Uint64
+	rejected429      atomic.Uint64
 }
 
 // Option configures a Server.
@@ -310,20 +353,38 @@ func WithCacheCap(n int) Option {
 func WithJobWorkers(n int) Option {
 	return func(s *Server) {
 		if n >= 1 {
-			s.jobs = jobs.NewManager(n, 0)
+			s.jobWorkers = n
 		}
 	}
 }
 
+// WithLimits sets the backpressure contract (zero fields keep their
+// defaults; see Limits).
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l }
+}
+
 // New builds a service.
 func New(opts ...Option) *Server {
-	s := &Server{plans: map[string]*planEntry{}, cacheCap: defaultCacheCap}
+	s := &Server{
+		plans:      map[string]*planEntry{},
+		cacheCap:   defaultCacheCap,
+		jobWorkers: defaultJobWorkers,
+		metrics:    metrics.NewRegistry(),
+	}
 	for _, o := range opts {
 		o(s)
 	}
-	if s.jobs == nil {
-		s.jobs = jobs.NewManager(defaultJobWorkers, 0)
+	s.limits = s.limits.withDefaults()
+	s.tuneGate = newGate("/tune", s.limits)
+	s.simulateGate = newGate("/simulate", s.limits)
+	// The job queue shares the admission bound; the manager treats 0 as
+	// unbounded, so the tightest expressible bound is one queued job.
+	qc := s.limits.MaxQueue
+	if qc < 1 {
+		qc = 1
 	}
+	s.jobs = jobs.NewManager(s.jobWorkers, qc)
 	return s
 }
 
@@ -333,6 +394,11 @@ func (s *Server) Close() { s.jobs.Close() }
 
 // Store exposes the attached plan store (nil without one).
 func (s *Server) Store() *store.Store { return s.store }
+
+// Metrics exposes the request-metrics registry (the /metrics source);
+// load harnesses use it to reconcile server-side totals against their
+// own counts.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // evictOneLocked drops an arbitrary completed plan entry; in-flight
 // entries are kept so coalesced waiters stay attached. Call with mu
@@ -349,28 +415,26 @@ func (s *Server) evictOneLocked() {
 	}
 }
 
-// Handler mounts the service routes.
+// Handler mounts the service routes. Expensive synchronous endpoints
+// run behind their admission gates; every route is instrumented with a
+// stable endpoint label (path parameters collapse to one series).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/tune", s.handleTune)
-	mux.HandleFunc("/simulate", s.handleSimulate)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("POST /jobs", s.handleJobsSubmit)
-	mux.HandleFunc("GET /jobs", s.handleJobsList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("/tune", s.wrap("/tune", s.tuneGate, s.handleTune))
+	mux.HandleFunc("/simulate", s.wrap("/simulate", s.simulateGate, s.handleSimulate))
+	mux.HandleFunc("/healthz", s.wrap("/healthz", nil, s.handleHealthz))
+	mux.HandleFunc("/stats", s.wrap("/stats", nil, s.handleStats))
+	mux.HandleFunc("GET /metrics", s.wrap("/metrics", nil, s.handleMetrics))
+	mux.HandleFunc("POST /jobs", s.wrap("/jobs", nil, s.handleJobsSubmit))
+	mux.HandleFunc("GET /jobs", s.wrap("/jobs", nil, s.handleJobsList))
+	mux.HandleFunc("GET /jobs/{id}", s.wrap("/jobs/{id}", nil, s.handleJobGet))
+	mux.HandleFunc("DELETE /jobs/{id}", s.wrap("/jobs/{id}", nil, s.handleJobCancel))
 	return mux
 }
 
-// tune resolves a spec through the plan cache, running the tuner at most
-// once per distinct spec. The returned response is a private copy with
-// Cached set for this caller.
-func (s *Server) tune(ws WorkloadSpec) (*TuneResponse, error) {
-	return s.tuneCtx(context.Background(), ws)
-}
-
-// tuneCtx is tune under a context. Cancellation aborts a search this
+// tuneCtx resolves a spec through the plan cache under a context,
+// running the tuner at most once per distinct spec. The returned
+// response is a private copy with Cached set for this caller. Cancellation aborts a search this
 // call started; coalesced waiters on that search then see the error and
 // the failed entry is dropped, so a later request simply retries.
 func (s *Server) tuneCtx(ctx context.Context, ws WorkloadSpec) (*TuneResponse, error) {
@@ -498,13 +562,19 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 // analyzerFor returns a calibrated analyzer for a spec, reusing the one
 // attached to the spec's plan-cache entry when present. Building one is
 // the expensive part of /simulate (operator DB + interference fit), so
-// repeated simulation traffic must not pay it per request.
-func (s *Server) analyzerFor(key string, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
+// repeated simulation traffic must not pay it per request. The wait on
+// an in-flight entry is bounded by ctx so an inline-plan /simulate
+// honors its request deadline instead of parking behind a slow search.
+func (s *Server) analyzerFor(ctx context.Context, key string, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
 	s.mu.Lock()
 	e, ok := s.plans[key]
 	s.mu.Unlock()
 	if ok {
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if e.err == nil && e.an != nil {
 			return e.an, nil
 		}
@@ -527,7 +597,9 @@ func (s *Server) handleTune(rw http.ResponseWriter, req *http.Request) {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	resp, err := s.tune(tr.WorkloadSpec)
+	// The request context carries the per-request deadline (see wrap)
+	// and client disconnects; both propagate into the running search.
+	resp, err := s.tuneCtx(req.Context(), tr.WorkloadSpec)
 	if err != nil {
 		writeError(rw, statusFor(err), err)
 		return
@@ -554,7 +626,7 @@ func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
 	p := sr.Plan
 	var tuned *plan.Plan
 	if p == nil {
-		tresp, err := s.tune(sr.WorkloadSpec)
+		tresp, err := s.tuneCtx(req.Context(), sr.WorkloadSpec)
 		if err != nil {
 			writeError(rw, statusFor(err), err)
 			return
@@ -566,7 +638,7 @@ func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("invalid plan: %w", err))
 		return
 	}
-	an, err := s.analyzerFor(sr.WorkloadSpec.key(), w, cl, space)
+	an, err := s.analyzerFor(req.Context(), sr.WorkloadSpec.key(), w, cl, space)
 	if err != nil {
 		writeError(rw, statusFor(err), err)
 		return
@@ -615,8 +687,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 	return err
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters, including the per-endpoint
+// HTTP latency summaries.
 func (s *Server) Stats() Stats {
+	st := s.scalarStats()
+	st.HTTP = s.httpStats()
+	return st
+}
+
+// scalarStats is Stats without the HTTP fold — the cheap subset that
+// /metrics reads for its gauge lines.
+func (s *Server) scalarStats() Stats {
 	s.mu.Lock()
 	size := len(s.plans)
 	s.mu.Unlock()
@@ -649,6 +730,7 @@ func (s *Server) Stats() Stats {
 	if js.Workers > 0 {
 		st.WorkerUtilization = float64(js.Busy) / float64(js.Workers)
 	}
+	st.Rejected429 = s.rejected429.Load()
 	return st
 }
 
@@ -660,9 +742,20 @@ func (e *badRequestError) Unwrap() error { return e.err }
 
 func statusFor(err error) int {
 	var bad *badRequestError
+	var over *overloadError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.As(err, &over), errors.Is(err, jobs.ErrQueueFull):
+		// Backpressure: the admission gate or the job queue is full.
+		// Degrade promptly with a retry hint instead of hanging.
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline expired mid-search.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is a formality it won't read.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrNoFeasiblePlan):
 		// The search space genuinely contains no plan under the memory
 		// budget: the request was well-formed but unsatisfiable.
@@ -679,5 +772,15 @@ func writeJSON(rw http.ResponseWriter, status int, v any) {
 }
 
 func writeError(rw http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// The backpressure contract: every 429/503 carries a hint for
+		// when to come back.
+		after := time.Second
+		var over *overloadError
+		if errors.As(err, &over) && over.retryAfter > 0 {
+			after = over.retryAfter
+		}
+		rw.Header().Set("Retry-After", retryAfterSeconds(after))
+	}
 	writeJSON(rw, status, map[string]string{"error": err.Error()})
 }

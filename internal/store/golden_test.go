@@ -1,0 +1,106 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/schedule"
+)
+
+// -update regenerates the golden fixture: go test ./internal/store -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecord is a fixed on-disk document with every schema field
+// populated, so drift in the store format (or in the embedded plan
+// format) is an explicit diff against testdata.
+func goldenRecord() Record {
+	return Record{
+		Fingerprint: Fingerprint{
+			Model: "gpt3-1.3b", Platform: "l4", GPUs: 4, Batch: 16,
+			Seq: 2048, Flash: true, Space: "mist",
+		},
+		Plan: &plan.Plan{
+			GradAccum: 2,
+			Stages: []plan.Stage{
+				{
+					Shape: schedule.StageShape{
+						B: 2, DP: 4, TP: 1, ZeRO: 1,
+						HasPre: true, HasPost: true, NumStages: 1, StageIdx: 0, GradAccum: 2,
+					},
+					Knobs: schedule.Knobs{Layers: 24, Ckpt: 12, WO: 0.5},
+				},
+			},
+		},
+		Predicted:      1.25,
+		PredThroughput: 12.8,
+		Version:        3,
+		UpdatedAt:      time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// TestGoldenRecordJSON pins the plan-store document schema exactly as
+// Put writes it (MarshalIndent with two-space indent).
+func TestGoldenRecordJSON(t *testing.T) {
+	got, err := json.MarshalIndent(goldenRecord(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "record.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("store document schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to accept)",
+			path, got, want)
+	}
+}
+
+// TestGoldenRecordLoads pins the decode direction through the real load
+// path: a document written by an earlier build must snapshot-load into
+// the index with its plan intact.
+func TestGoldenRecordLoads(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "record.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "golden.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LoadSkipped() != 0 {
+		t.Fatalf("golden document skipped at load (%d)", s.LoadSkipped())
+	}
+	want := goldenRecord()
+	rec, ok := s.Get(want.Fingerprint)
+	if !ok {
+		t.Fatalf("golden fingerprint not indexed (key %s)", want.Fingerprint.Key())
+	}
+	if rec.Version != want.Version || !rec.UpdatedAt.Equal(want.UpdatedAt) {
+		t.Errorf("metadata drifted: version %d at %v", rec.Version, rec.UpdatedAt)
+	}
+	if !reflect.DeepEqual(rec.Plan, want.Plan) {
+		t.Errorf("stored plan decodes differently:\n%+v\nvs\n%+v", rec.Plan, want.Plan)
+	}
+}
