@@ -3,7 +3,7 @@ GO ?= go
 # (testing/quick's -quickchecks flag scales their MaxCountScale).
 QUICKCHECKS ?= 200
 
-.PHONY: ci vet build test race property bench serve fuzz load-smoke
+.PHONY: ci vet build test race property bench bench-json serve fuzz load-smoke cluster-smoke
 
 ci: vet build race property ## full tier-1 + race + property gate
 
@@ -26,6 +26,10 @@ fuzz: ## fuzz smoke: HTTP JSON decode paths must 400 cleanly, never panic or 5xx
 load-smoke: ## 5-second in-process mixed-scenario load replay; fails on any 5xx
 	$(GO) run ./cmd/mistload -scenario mixed -inproc -duration 5s -seed 1 -concurrency 4
 
+cluster-smoke: ## 3-node in-process cluster: mixed replay, then a failover drill with a mid-run node kill; fails on any 5xx
+	$(GO) run ./cmd/mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1 -concurrency 4
+	$(GO) run ./cmd/mistload -scenario failover -inproc -nodes 3 -duration 6s -seed 1 -concurrency 4 -kill n2@3s
+
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
@@ -33,6 +37,12 @@ bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortizati
 	$(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x .
 	$(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
+
+bench-json: ## run the bench set and record a machine-readable trajectory point
+	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core ; \
+	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve ) \
+	| $(GO) run ./tools/bench2json -out BENCH_PR4.json
 
 serve: ## run the tuning service locally
 	$(GO) run ./cmd/mistserve -addr :8080

@@ -9,10 +9,20 @@
 // (-inproc) built with the same -max-queue / -request-timeout knobs as
 // mistserve — the zero-network way to measure the serving hot path.
 //
+// Cluster targets: -addr takes a comma-separated list of node URLs
+// (ops round-robin across them), and -inproc -nodes N spins up an
+// in-process N-node cluster wired over an in-memory transport. With
+// -kill id@delay a node is killed mid-run — the failover drill: the
+// survivors must keep answering its fingerprints from replicated
+// stores with zero 5xx.
+//
 // Examples:
 //
 //	mistload -scenario mixed -inproc -duration 5s -seed 1
+//	mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1
+//	mistload -scenario failover -inproc -nodes 3 -duration 6s -kill n2@3s
 //	mistload -scenario cold-storm -addr http://localhost:8080 -duration 30s -rate 50
+//	mistload -scenario mixed -addr http://10.0.0.1:8080,http://10.0.0.2:8080 -duration 30s
 //	mistload -list
 //
 // Exit status: 0 on a clean run; 1 when the run saw server 5xx or
@@ -28,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,8 +56,11 @@ func main() {
 		maxOps      = flag.Int("max-ops", 0, "stop after this many requests (0: duration-bound only)")
 		concurrency = flag.Int("concurrency", 8, "parallel load workers")
 		rate        = flag.Float64("rate", 0, "target arrival rate in req/s (0: unpaced)")
-		addr        = flag.String("addr", "", "live server URL (e.g. http://localhost:8080)")
+		addr        = flag.String("addr", "", "live server URL(s), comma-separated for a cluster (e.g. http://localhost:8080)")
 		inproc      = flag.Bool("inproc", false, "run against an in-process server (required unless -addr is set)")
+		nodes       = flag.Int("nodes", 1, "in-process cluster size (with -inproc; 1 = plain single server)")
+		replicas    = flag.Int("replicas", 2, "in-process cluster replication factor")
+		kill        = flag.String("kill", "", "kill an in-process node mid-run, as id@delay (e.g. n2@3s; needs -nodes > 1)")
 		maxQueue    = flag.Int("max-queue", 0, "in-process server admission/job-queue bound (0: default 256)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "in-process server per-request deadline (0: none)")
 		workers     = flag.Int("workers", 2, "in-process server job workers")
@@ -67,6 +81,12 @@ func main() {
 	}
 	if *addr == "" && !*inproc {
 		log.Fatal("choose a target: -inproc or -addr <url>")
+	}
+	if *nodes > 1 && !*inproc {
+		log.Fatal("-nodes needs -inproc (point -addr at the live nodes instead)")
+	}
+	if *kill != "" && *nodes <= 1 {
+		log.Fatal("-kill needs an in-process cluster (-inproc -nodes N)")
 	}
 	// -max-ops means a count-bound run: the 5s -duration default would
 	// silently truncate it on slow machines, breaking replay
@@ -96,7 +116,8 @@ func main() {
 		BaseURL:     *addr,
 	}
 	var target load.Target
-	if *addr == "" {
+	switch {
+	case *addr == "" && *nodes <= 1:
 		s := serve.New(
 			serve.WithJobWorkers(*workers),
 			serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
@@ -105,8 +126,75 @@ func main() {
 		target = load.NewHandlerTarget(s.Handler())
 		log.Printf("replaying %q in-process (seed %d, %v, %d workers)",
 			*scenario, *seed, *duration, *concurrency)
-	} else {
-		target = &http.Client{Timeout: 2 * time.Minute}
+	case *addr == "":
+		lc, err := serve.NewLocalCluster(serve.LocalClusterOptions{
+			Nodes:         *nodes,
+			Replicas:      *replicas,
+			ProbeInterval: 250 * time.Millisecond,
+			ServerOptions: []serve.Option{
+				serve.WithJobWorkers(*workers),
+				serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lc.Close()
+		ids := lc.IDs()
+		perNode := make([]load.Target, len(ids))
+		for i, id := range ids {
+			perNode[i] = load.NewHandlerTarget(lc.Handler(id))
+		}
+		mt, err := load.NewMultiTarget(perNode...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *kill != "" {
+			id, delay := parseKill(*kill)
+			idx := -1
+			for i, nid := range ids {
+				if nid == id {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				log.Fatalf("-kill: unknown node %q (have %v)", id, ids)
+			}
+			time.AfterFunc(delay, func() {
+				mt.Fail(idx)
+				if err := lc.Kill(id); err != nil {
+					log.Printf("kill %s: %v", id, err)
+					return
+				}
+				log.Printf("killed node %s after %v; survivors must serve its fingerprints from replicas", id, delay)
+			})
+		}
+		target = mt
+		log.Printf("replaying %q against an in-process %d-node cluster (R=%d, seed %d, %v, %d workers)",
+			*scenario, *nodes, *replicas, *seed, *duration, *concurrency)
+	default:
+		addrs := strings.Split(*addr, ",")
+		client := &http.Client{Timeout: 2 * time.Minute}
+		if len(addrs) == 1 {
+			target = client
+		} else {
+			perNode := make([]load.Target, 0, len(addrs))
+			for _, a := range addrs {
+				t, err := load.WithBase(client, strings.TrimSpace(a))
+				if err != nil {
+					log.Fatal(err)
+				}
+				perNode = append(perNode, t)
+			}
+			mt, err := load.NewMultiTarget(perNode...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			target = mt
+			// Multi-addr ops carry a placeholder URL that each node
+			// target rebases; BaseURL must stay empty.
+			opts.BaseURL = ""
+		}
 		log.Printf("replaying %q against %s (seed %d, %v, %d workers)",
 			*scenario, *addr, *seed, *duration, *concurrency)
 	}
@@ -131,4 +219,17 @@ func main() {
 	if rep.Server5xx > 0 && !*allow5xx {
 		log.Fatalf("FAIL: %d server 5xx responses", rep.Server5xx)
 	}
+}
+
+// parseKill parses the -kill wire format id@delay (e.g. "n2@3s").
+func parseKill(s string) (string, time.Duration) {
+	id, rest, ok := strings.Cut(s, "@")
+	if !ok || id == "" {
+		log.Fatalf("-kill: want id@delay, got %q", s)
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d < 0 {
+		log.Fatalf("-kill: bad delay in %q: %v", s, err)
+	}
+	return id, d
 }

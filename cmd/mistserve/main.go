@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -41,6 +42,12 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "concurrently executing requests per endpoint class (0: GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "admission wait-queue and async job-queue bound; overflow answers 429 (0: default 256)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline, propagated into running searches (0: none)")
+
+		nodeID   = flag.String("node-id", "", "cluster mode: this node's id (must appear in -peers)")
+		peers    = flag.String("peers", "", "cluster mode: full static membership as id=addr,id=addr (self included)")
+		replicas = flag.Int("replicas", 2, "cluster mode: replication factor R (owner + R-1 replicas per fingerprint)")
+		vnodes   = flag.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0: default 128)")
+		probeIvl = flag.Duration("probe-interval", 2*time.Second, "cluster mode: active health-probe interval")
 	)
 	flag.Parse()
 
@@ -50,6 +57,7 @@ func main() {
 	opts := []serve.Option{
 		serve.WithCacheCap(*cacheCap),
 		serve.WithJobWorkers(*workers),
+		serve.WithLog(log.Printf),
 		serve.WithLimits(serve.Limits{
 			MaxInflight:    *maxInflight,
 			MaxQueue:       *maxQueue,
@@ -67,8 +75,31 @@ func main() {
 		log.Printf("plan store: %d plans loaded from %s", st.Len(), *storeDir)
 		opts = append(opts, serve.WithStore(st))
 	}
+	if (*nodeID == "") != (*peers == "") {
+		log.Fatal("cluster mode needs both -node-id and -peers")
+	}
+	if *nodeID != "" {
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:     *nodeID,
+			Members:  members,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl.Start(*probeIvl)
+		defer cl.Stop()
+		opts = append(opts, serve.WithCluster(cl))
+		log.Printf("cluster mode: node %s in a %d-member ring (R=%d, %d vnodes, probe every %v)",
+			*nodeID, len(members), cl.ReplicationFactor(), cl.Ring().VNodes(), *probeIvl)
+	}
 
-	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /healthz /stats /metrics)", *addr)
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /healthz /stats /metrics)", *addr)
 	err := serve.New(opts...).ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

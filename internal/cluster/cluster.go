@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Wire headers of the cluster tier.
+const (
+	// HeaderRequestID carries the request identity assigned at ingress;
+	// it is propagated through forwarded hops, into job records, and
+	// into log lines.
+	HeaderRequestID = "X-Mist-Request-Id"
+	// HeaderForwardedBy marks a request already forwarded once (value:
+	// the forwarding node's id). A node receiving it always serves
+	// locally — forwarding is at most one hop, so routing disagreements
+	// can never loop.
+	HeaderForwardedBy = "X-Mist-Forwarded-By"
+	// HeaderServedBy names the node that actually answered, so clients
+	// and tests can observe routing.
+	HeaderServedBy = "X-Mist-Served-By"
+)
+
+// Member is one node of the static membership: a stable id plus the
+// base URL peers reach it at.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// Self is this node's id; it must appear in Members.
+	Self string
+	// Members is the full static membership, self included.
+	Members []Member
+	// Replicas is the replication factor R: each fingerprint gets an
+	// owner plus R−1 replicas (default 2, capped at the member count).
+	Replicas int
+	// VNodes is the per-member virtual-node count (default
+	// DefaultVNodes).
+	VNodes int
+	// Client executes forwarded requests and probes (default: an
+	// http.Client with a 2-minute timeout, matching a long search).
+	Client Doer
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// DownAfter is the consecutive-failure threshold for Down
+	// (default 3).
+	DownAfter int
+}
+
+// Cluster is one node's view of the sharded tier: the ring, the member
+// table, the health checker, and the forwarding client. Safe for
+// concurrent use.
+type Cluster struct {
+	self    string
+	rf      int
+	members map[string]Member
+	order   []string
+	ring    *Ring
+	checker *Checker
+	client  Doer
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+// New validates the membership and builds the node's cluster view.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	members := map[string]Member{}
+	ids := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member with empty id")
+		}
+		if _, dup := members[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		if m.Addr == "" {
+			return nil, fmt.Errorf("cluster: member %q has no address", m.ID)
+		}
+		members[m.ID] = m
+		ids = append(ids, m.ID)
+	}
+	if _, ok := members[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q not in member list", cfg.Self)
+	}
+	rf := cfg.Replicas
+	if rf < 1 {
+		rf = 2
+	}
+	if rf > len(ids) {
+		rf = len(ids)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	downAfter := cfg.DownAfter
+	if downAfter < 1 {
+		downAfter = 3
+	}
+	sort.Strings(ids)
+	return &Cluster{
+		self:    cfg.Self,
+		rf:      rf,
+		members: members,
+		order:   ids,
+		ring:    ring,
+		checker: NewChecker(cfg.Self, cfg.Members, client, cfg.ProbeTimeout, downAfter),
+		client:  client,
+	}, nil
+}
+
+// Self returns this node's id.
+func (c *Cluster) Self() string { return c.self }
+
+// ReplicationFactor returns R (owner + R−1 replicas per fingerprint).
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// Ring exposes the consistent-hash ring (for topology reporting).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Members returns the membership sorted by id.
+func (c *Cluster) Members() []Member {
+	out := make([]Member, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.members[id])
+	}
+	return out
+}
+
+// Member looks up one member by id.
+func (c *Cluster) Member(id string) (Member, bool) {
+	m, ok := c.members[id]
+	return m, ok
+}
+
+// Health reports a peer's current health as seen from this node.
+func (c *Cluster) Health(id string) Health { return c.checker.Status(id) }
+
+// Checker exposes the health checker (passive reports from custom
+// transports, deterministic probing in tests).
+func (c *Cluster) Checker() *Checker { return c.checker }
+
+// Owner returns the ring owner of a key, health ignored.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Replicas returns the key's full replica set (owner first), health
+// ignored — the set a completed plan is replicated to.
+func (c *Cluster) Replicas(key string) []Member {
+	ids := c.ring.Replicas(key, c.rf)
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.members[id])
+	}
+	return out
+}
+
+// ReplicaTargets returns the key's replica set excluding self — the
+// peers a locally completed plan must be written through to.
+func (c *Cluster) ReplicaTargets(key string) []Member {
+	var out []Member
+	for _, m := range c.Replicas(key) {
+		if m.ID != c.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Route orders the key's replica set for serving: owner-first, Down
+// peers dropped, Ok peers ahead of Suspect ones. The serving layer
+// walks the list — a candidate equal to self means "serve locally";
+// otherwise it forwards, advancing on failure. An empty list (every
+// replica down, self not among them) means serve locally as a last
+// resort: availability over strict single-flight.
+func (c *Cluster) Route(key string) []Member {
+	reps := c.ring.Replicas(key, c.rf)
+	ok := make([]Member, 0, len(reps))
+	var suspect []Member
+	for _, id := range reps {
+		switch c.checker.Status(id) {
+		case Ok:
+			ok = append(ok, c.members[id])
+		case Suspect:
+			suspect = append(suspect, c.members[id])
+		}
+	}
+	return append(ok, suspect...)
+}
+
+// Forward sends one already-read request to a peer: method and path are
+// preserved, the body is replayed from bytes, the request id and
+// content type are propagated, and HeaderForwardedBy pins the hop count
+// to one. The outcome feeds the health checker, so a dead peer is
+// noticed at the first failed forward.
+func (c *Cluster) Forward(ctx context.Context, m Member, method, path, requestID, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, m.Addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if requestID != "" {
+		req.Header.Set(HeaderRequestID, requestID)
+	}
+	req.Header.Set(HeaderForwardedBy, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.checker.ReportFailure(m.ID)
+		return nil, err
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		// A 5xx is a live-but-unwell signal: count it toward Suspect so
+		// routing prefers healthy replicas, but return the response —
+		// the caller decides whether to relay or retry.
+		c.checker.ReportFailure(m.ID)
+	} else {
+		c.checker.ReportSuccess(m.ID)
+	}
+	return resp, nil
+}
+
+// Start launches the active health prober on the interval; Stop (or
+// Close) ends it. Starting twice restarts the prober.
+func (c *Cluster) Start(interval time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancel != nil {
+		c.cancel()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	go c.checker.Run(ctx, interval)
+}
+
+// Stop ends the active prober (no-op when not started).
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
+
+// ParsePeers parses the -peers wire format: comma-separated id=addr
+// pairs, e.g. "n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080".
+func ParsePeers(s string) ([]Member, error) {
+	var out []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=addr)", part)
+		}
+		out = append(out, Member{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health is a peer's observed liveness state as seen from this node.
+// The progression is purely local: every node runs its own checker and
+// may disagree transiently with its peers.
+type Health int
+
+const (
+	// Ok: the last probe or forward succeeded.
+	Ok Health = iota
+	// Suspect: at least one recent failure, but fewer than the down
+	// threshold — still routed, after healthy peers.
+	Suspect
+	// Down: consecutive failures reached the threshold — routed around
+	// entirely until a probe succeeds again.
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Ok:
+		return "ok"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Doer executes one HTTP request. *http.Client satisfies it; in-process
+// harnesses substitute a switchboard that routes to handlers directly.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Checker tracks peer health from two signals: active /healthz probes
+// (ProbeOnce, typically on a timer) and passive reports from the
+// forwarding path (ReportFailure/ReportSuccess), so a dead peer is
+// noticed at the first failed forward, not only at the next probe tick.
+type Checker struct {
+	self      string
+	client    Doer
+	timeout   time.Duration
+	downAfter int
+
+	mu    sync.Mutex
+	fails map[string]int // consecutive failures by peer id
+	addrs map[string]string
+}
+
+// NewChecker builds a checker over the peer set (self is always Ok and
+// never probed). downAfter is the consecutive-failure count at which a
+// peer turns Down (min 1); timeout bounds one probe.
+func NewChecker(self string, members []Member, client Doer, timeout time.Duration, downAfter int) *Checker {
+	if downAfter < 1 {
+		downAfter = 1
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	c := &Checker{
+		self:      self,
+		client:    client,
+		timeout:   timeout,
+		downAfter: downAfter,
+		fails:     map[string]int{},
+		addrs:     map[string]string{},
+	}
+	for _, m := range members {
+		if m.ID != self {
+			c.addrs[m.ID] = m.Addr
+		}
+	}
+	return c
+}
+
+// Status reports a peer's current health (self and unknown ids are Ok).
+func (c *Checker) Status(id string) Health {
+	if id == c.self {
+		return Ok
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch f := c.fails[id]; {
+	case f == 0:
+		return Ok
+	case f < c.downAfter:
+		return Suspect
+	default:
+		return Down
+	}
+}
+
+// ReportSuccess records a successful interaction with a peer, resetting
+// it to Ok.
+func (c *Checker) ReportSuccess(id string) {
+	if id == c.self {
+		return
+	}
+	c.mu.Lock()
+	c.fails[id] = 0
+	c.mu.Unlock()
+}
+
+// ReportFailure records a failed interaction with a peer (transport
+// error or 5xx), advancing Ok → Suspect → Down.
+func (c *Checker) ReportFailure(id string) {
+	if id == c.self {
+		return
+	}
+	c.mu.Lock()
+	if c.fails[id] < c.downAfter {
+		c.fails[id]++
+	}
+	c.mu.Unlock()
+}
+
+// ProbeOnce probes every peer's /healthz concurrently and records the
+// outcomes. One round is bounded by the checker's probe timeout.
+func (c *Checker) ProbeOnce(ctx context.Context) {
+	c.mu.Lock()
+	peers := make([]Member, 0, len(c.addrs))
+	for id, addr := range c.addrs {
+		peers = append(peers, Member{ID: id, Addr: addr})
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p Member) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, p.Addr+"/healthz", nil)
+			if err != nil {
+				c.ReportFailure(p.ID)
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				c.ReportFailure(p.ID)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= http.StatusInternalServerError {
+				c.ReportFailure(p.ID)
+				return
+			}
+			c.ReportSuccess(p.ID)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Run probes on the interval until ctx is canceled. An immediate first
+// round runs before the first tick so a fresh node converges quickly.
+func (c *Checker) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	c.ProbeOnce(ctx)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.ProbeOnce(ctx)
+		}
+	}
+}

@@ -49,12 +49,13 @@ type Task func(ctx context.Context, emit func(string)) (any, error)
 // job is the internal mutable record; all fields below mu-guarded state
 // are written only under Manager.mu.
 type job struct {
-	id       string
-	key      string
-	priority int
-	seq      uint64
-	task     Task
-	heapIdx  int // position in Manager.queue; -1 when not queued
+	id        string
+	key       string
+	priority  int
+	seq       uint64
+	task      Task
+	requestID string
+	heapIdx   int // position in Manager.queue; -1 when not queued
 
 	state         State
 	cancelWanted  bool
@@ -80,6 +81,11 @@ type Snapshot struct {
 	Result    any
 	Err       error
 	Events    []Event
+
+	// RequestID is the ingress request identity that created the job
+	// ("" for untraced submissions); duplicates that attach to it leave
+	// their own ids in the event log instead.
+	RequestID string
 }
 
 func (j *job) snapshotLocked() Snapshot {
@@ -87,7 +93,8 @@ func (j *job) snapshotLocked() Snapshot {
 		ID: j.id, Key: j.key, Priority: j.priority, State: j.state,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 		Result: j.result, Err: j.err,
-		Events: append([]Event(nil), j.events...),
+		Events:    append([]Event(nil), j.events...),
+		RequestID: j.requestID,
 	}
 }
 
@@ -117,12 +124,12 @@ type Manager struct {
 	jobs     map[string]*job
 	active   map[string]*job // dedup index: queued or running, by key
 	settledQ []string        // job ids in settlement order, for O(1) eviction
-	nextID  uint64
-	closed  bool
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	started bool
-	wg      sync.WaitGroup
+	nextID   uint64
+	closed   bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	started  bool
+	wg       sync.WaitGroup
 
 	busy      atomic.Int64
 	submitted atomic.Uint64
@@ -162,6 +169,14 @@ var ErrClosed = fmt.Errorf("jobs: manager closed")
 // job's snapshot is returned with deduped=true. Higher priorities run
 // first; equal priorities run in submission order.
 func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, error) {
+	return m.SubmitTraced(key, priority, "", task)
+}
+
+// SubmitTraced is Submit carrying the ingress request id: it is pinned
+// on the job record, and a deduplicated submission appends its id to
+// the existing job's event log so every request that touched the job
+// stays traceable.
+func (m *Manager) SubmitTraced(key string, priority int, requestID string, task Task) (Snapshot, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -181,6 +196,15 @@ func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, e
 					heap.Fix(&m.queue, cur.heapIdx)
 				}
 			}
+			// Event logs are bounded: request ids are client-driven (one
+			// per HTTP submission), so a hot key must not grow its job
+			// record without limit.
+			if requestID != "" && requestID != cur.requestID && len(cur.events) < maxJobEvents {
+				cur.events = append(cur.events, Event{
+					Time: time.Now(),
+					Msg:  "duplicate submission attached (request " + requestID + ")",
+				})
+			}
 			m.deduped.Add(1)
 			return cur.snapshotLocked(), true, nil
 		}
@@ -195,6 +219,7 @@ func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, e
 		priority:  priority,
 		seq:       m.nextID,
 		task:      task,
+		requestID: requestID,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -211,6 +236,11 @@ func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, e
 	m.cond.Signal()
 	return j.snapshotLocked(), false, nil
 }
+
+// maxJobEvents caps one job's event log. Lifecycle transitions and task
+// emissions are few; the only externally driven source is duplicate
+// traced submissions, which stop being recorded past the cap.
+const maxJobEvents = 64
 
 // maxRetainedJobs bounds the job table: job specs are client-controlled,
 // so settled records (results included) cannot accumulate forever.

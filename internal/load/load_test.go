@@ -32,9 +32,10 @@ func TestStreamDeterministic(t *testing.T) {
 				differs = true
 			}
 		}
-		// cold-storm is a pure index sweep (maximally distinct cache
-		// keys), so it is deliberately seed-independent.
-		if !differs && name != "cold-storm" {
+		// cold-storm and rebalance are pure index sweeps (distinct cache
+		// keys / comparable before-after replays), so they are
+		// deliberately seed-independent.
+		if !differs && name != "cold-storm" && name != "rebalance" {
 			t.Errorf("%s: seeds 1 and 2 produced identical 1000-op streams", name)
 		}
 	}
@@ -42,7 +43,10 @@ func TestStreamDeterministic(t *testing.T) {
 
 func TestScenarioNamesAndUnknown(t *testing.T) {
 	names := ScenarioNames()
-	want := map[string]bool{"cold-storm": true, "warm-repeat": true, "simulate-burst": true, "job-churn": true, "mixed": true}
+	want := map[string]bool{
+		"cold-storm": true, "warm-repeat": true, "simulate-burst": true,
+		"job-churn": true, "mixed": true, "failover": true, "rebalance": true,
+	}
 	if len(names) != len(want) {
 		t.Fatalf("scenarios %v", names)
 	}

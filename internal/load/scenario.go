@@ -73,6 +73,21 @@ var warmPool = []wireSpec{
 // every spec is a distinct plan-cache key (a fresh search).
 var coldModels = []string{"gpt3-1.3b", "llama-1.3b", "falcon-1.3b"}
 
+// shardPool is the fixed fingerprint set behind the cluster scenarios
+// (failover, rebalance): big enough that a consistent-hash ring spreads
+// ownership across a small cluster, small enough that every key is
+// tuned early and the rest of the run exercises routed repeats.
+var shardPool = func() []wireSpec {
+	pool := append([]wireSpec(nil), warmPool...)
+	for _, m := range coldModels {
+		pool = append(pool,
+			wireSpec{Model: m, GPUs: 2, Batch: 8, Seq: 640, Space: "deepspeed"},
+			wireSpec{Model: m, GPUs: 2, Batch: 4, Seq: 768, Space: "deepspeed"},
+		)
+	}
+	return pool
+}()
+
 // scenarioDef generates ops for one named profile. next receives the
 // scenario's private rng and the 0-based op index.
 type scenarioDef struct {
@@ -151,6 +166,32 @@ var scenarios = []scenarioDef{
 			default:
 				return Op{Kind: OpStats}
 			}
+		},
+	},
+	{
+		name: "failover",
+		desc: "fixed fingerprint pool, tune-heavy: replay across a node kill — survivors must serve the dead node's keys from replicated stores without re-searching",
+		next: func(rng *rand.Rand, i int) Op {
+			// No job ops on purpose: job records are node-local, so a
+			// mid-run kill would turn their lookups into expected 5xx
+			// noise and mask real failover regressions.
+			if rng.Intn(100) < 88 {
+				return Op{Kind: OpTune, Body: mustBody(shardPool[rng.Intn(len(shardPool))])}
+			}
+			return Op{Kind: OpStats}
+		},
+	},
+	{
+		name: "rebalance",
+		desc: "deterministic sweep over the shard pool: replayed before and after a membership change, only the moved keys' owners should differ",
+		next: func(_ *rand.Rand, i int) Op {
+			// Pure function of the op index (no rng): two replays cover
+			// the same keys in the same order, so before/after runs are
+			// directly comparable.
+			if i%16 == 15 {
+				return Op{Kind: OpStats}
+			}
+			return Op{Kind: OpTune, Body: mustBody(shardPool[i%len(shardPool)])}
 		},
 	},
 	{

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 )
 
@@ -171,22 +172,40 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 	}
 	return func(rw http.ResponseWriter, req *http.Request) {
 		start := time.Now()
-		if s.limits.RequestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(req.Context(), s.limits.RequestTimeout)
-			defer cancel()
-			req = req.WithContext(ctx)
+		// Request identity: assigned at ingress, reused across forwarded
+		// hops (the forwarding node already stamped the header), echoed
+		// to the client, and carried in the context into job records and
+		// log lines.
+		rid := req.Header.Get(cluster.HeaderRequestID)
+		if rid == "" {
+			rid = newRequestID()
 		}
+		ctx := withRequestID(req.Context(), rid)
+		if s.limits.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.limits.RequestTimeout)
+			defer cancel()
+		}
+		req = req.WithContext(ctx)
 		sr := &statusRecorder{ResponseWriter: rw, code: http.StatusOK}
+		sr.Header().Set(cluster.HeaderRequestID, rid)
+		if s.cluster != nil {
+			sr.Header().Set(cluster.HeaderServedBy, s.cluster.Self())
+		}
 		if g != nil {
 			if err := g.acquire(req.Context()); err != nil {
 				writeError(sr, statusFor(err), err)
 				observe(sr.code, time.Since(start))
+				s.logf("request %s: %s %s -> %d (%.1fms)", rid, req.Method, endpoint,
+					sr.code, float64(time.Since(start))/float64(time.Millisecond))
 				return
 			}
 			defer g.release()
 		}
 		h(sr, req)
 		observe(sr.code, time.Since(start))
+		s.logf("request %s: %s %s -> %d (%.1fms)", rid, req.Method, endpoint,
+			sr.code, float64(time.Since(start))/float64(time.Millisecond))
 	}
 }
 
@@ -254,6 +273,7 @@ func (s *Server) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 		{"mist_store_hits_total", st.StoreHits},
 		{"mist_warm_starts_total", st.WarmStarts},
 		{"mist_http_rejected_total", st.Rejected429},
+		{"mist_cluster_local_fallbacks_total", st.ClusterLocalFallbacks},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.val)

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// This file is the serving layer's half of the sharded tier: the
+// ownership check and proxy path in front of /tune, /simulate, and
+// /jobs, the write-through replication hook, the GET /cluster topology
+// endpoint, node-qualified job ids, and the request identity assigned
+// at ingress and propagated through every hop.
+
+// Per-peer metric families of the cluster tier.
+const (
+	metricForwardsTotal      = "mist_cluster_forwards_total"       // labels: peer, code
+	metricForwardErrorsTotal = "mist_cluster_forward_errors_total" // labels: peer
+	metricReplicationsTotal  = "mist_cluster_replications_total"   // labels: peer, outcome
+)
+
+// replicationBudget bounds one write-through replication round (all
+// replicas share it — the context is one per round, not per peer).
+const replicationBudget = 3 * time.Second
+
+// requestIDKey carries the ingress request id through contexts.
+type requestIDKey struct{}
+
+// newRequestID mints a 64-bit random hex id; ids only need to be
+// unique enough to correlate log lines and job records across nodes.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID pins a request id on a context.
+func withRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, rid)
+}
+
+// RequestIDFrom extracts the ingress request id ("" when untraced).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(requestIDKey{}).(string)
+	return rid
+}
+
+// logf logs through the configured logger (no-op without one).
+func (s *Server) logf(format string, args ...any) {
+	if s.logFn != nil {
+		s.logFn(format, args...)
+	}
+}
+
+// forwarded reports whether a request already took its one allowed
+// forwarding hop.
+func forwarded(req *http.Request) bool {
+	return req.Header.Get(cluster.HeaderForwardedBy) != ""
+}
+
+// proxyKeyed routes a request by its fingerprint key: when a peer is
+// the first healthy replica, the request (body already read) is
+// replayed to it and its response relayed, walking down the replica
+// list on transport failures. Returns true when a peer answered; false
+// means serve locally — this node is the routed replica, the request
+// already hopped once, cluster mode is off, or no replica was
+// reachable (availability wins over strict single-flight).
+func (s *Server) proxyKeyed(rw http.ResponseWriter, req *http.Request, key string, body []byte) bool {
+	if s.cluster == nil || forwarded(req) {
+		return false
+	}
+	rid := RequestIDFrom(req.Context())
+	for _, m := range s.cluster.Route(key) {
+		if m.ID == s.cluster.Self() {
+			return false
+		}
+		if s.forwardTo(rw, req, m, rid, body) {
+			return true
+		}
+	}
+	s.localFallbacks.Add(1)
+	s.logf("request %s: no reachable replica for %s, serving locally", rid, key)
+	return false
+}
+
+// forwardOnce sends one request to a peer, maintaining the forward
+// counters, per-peer metric series, and log lines in one place for
+// every forwarding path (relay and decode alike). The caller owns the
+// response body on success; a transport failure returns nil and has
+// already been counted.
+func (s *Server) forwardOnce(ctx context.Context, m cluster.Member, method, path, rid, contentType string, body []byte) *http.Response {
+	resp, err := s.cluster.Forward(ctx, m, method, path, rid, contentType, body)
+	if err != nil {
+		s.forwardErrors.Add(1)
+		s.metrics.Counter(metricForwardErrorsTotal, metrics.Labels{"peer": m.ID}).Inc()
+		s.logf("request %s: forward %s %s to %s failed: %v", rid, method, path, m.ID, err)
+		return nil
+	}
+	s.forwards.Add(1)
+	s.metrics.Counter(metricForwardsTotal, metrics.Labels{
+		"peer": m.ID, "code": strconv.Itoa(resp.StatusCode),
+	}).Inc()
+	s.logf("request %s: forwarded %s %s to %s -> %d", rid, method, path, m.ID, resp.StatusCode)
+	return resp
+}
+
+// forwardTo replays one request to a peer and relays the response
+// (status, body, and the response headers a client acts on). A
+// transport failure feeds the health checker (inside Forward) and
+// returns false so the caller can try the next replica.
+func (s *Server) forwardTo(rw http.ResponseWriter, req *http.Request, m cluster.Member, rid string, body []byte) bool {
+	resp := s.forwardOnce(req.Context(), m, req.Method, req.URL.Path, rid,
+		req.Header.Get("Content-Type"), body)
+	if resp == nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", cluster.HeaderServedBy} {
+		if v := resp.Header.Get(h); v != "" {
+			rw.Header().Set(h, v)
+		}
+	}
+	if rw.Header().Get(cluster.HeaderServedBy) == "" {
+		rw.Header().Set(cluster.HeaderServedBy, m.ID)
+	}
+	rw.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(rw, resp.Body)
+	return true
+}
+
+// remoteStatusError carries a proxied peer's non-200 answer back
+// through the synchronous tune path with its original status code.
+type remoteStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteStatusError) Error() string { return e.msg }
+
+// clusterTune is tuneCtx behind the ring: fingerprints owned by a peer
+// are resolved by a forwarded POST /tune (so the search still runs
+// exactly once fleet-wide), locally owned ones run through the plan
+// cache as before. Job tasks and batch submissions go through here.
+func (s *Server) clusterTune(ctx context.Context, ws WorkloadSpec) (*TuneResponse, error) {
+	if s.cluster == nil {
+		return s.tuneCtx(ctx, ws)
+	}
+	if _, _, _, err := ws.normalize(); err != nil {
+		return nil, &badRequestError{err}
+	}
+	key := ws.key()
+	rid := RequestIDFrom(ctx)
+	body, err := json.Marshal(TuneRequest{WorkloadSpec: ws})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range s.cluster.Route(key) {
+		if m.ID == s.cluster.Self() {
+			return s.tuneCtx(ctx, ws)
+		}
+		resp := s.forwardOnce(ctx, m, http.MethodPost, "/tune", rid, "application/json", body)
+		if resp == nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var werr struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&werr)
+			resp.Body.Close()
+			if werr.Error == "" {
+				werr.Error = fmt.Sprintf("peer %s answered %d", m.ID, resp.StatusCode)
+			}
+			return nil, &remoteStatusError{status: resp.StatusCode, msg: werr.Error}
+		}
+		var tr TuneResponse
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decoding peer %s tune response: %w", m.ID, err)
+		}
+		return &tr, nil
+	}
+	s.localFallbacks.Add(1)
+	s.logf("request %s: no reachable replica for %s, tuning locally", rid, key)
+	return s.tuneCtx(ctx, ws)
+}
+
+// replicateRecord is the plan store's OnPut hook: write the record
+// through to the fingerprint's other replicas, synchronously and
+// best-effort — by the time the tune response reaches the client every
+// reachable replica can serve the plan from its own store, which is
+// what makes a node failover lossless. Down peers are skipped (they
+// re-converge by serving store misses as fresh forwards after rejoin).
+func (s *Server) replicateRecord(rec store.Record) {
+	if s.cluster == nil {
+		return
+	}
+	key := rec.Fingerprint.Key()
+	targets := s.cluster.ReplicaTargets(key)
+	if len(targets) == 0 {
+		return
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	// Replication is synchronous by design (a reachable replica can
+	// serve the plan the moment the client has it), so the whole round
+	// runs on the tune-response path; the budget is kept tight so one
+	// slow-but-accepting (Suspect) replica delays a response by a
+	// bounded amount, not a request-timeout violation per peer.
+	ctx, cancel := context.WithTimeout(context.Background(), replicationBudget)
+	defer cancel()
+	for _, m := range targets {
+		outcome := "ok"
+		switch {
+		case s.cluster.Health(m.ID) == cluster.Down:
+			outcome = "skipped-down"
+		default:
+			resp, err := s.cluster.Forward(ctx, m, http.MethodPost, "/cluster/replicate", "", "application/json", body)
+			if err != nil {
+				outcome = "error"
+				s.replicationErrors.Add(1)
+				s.logf("replicate %s v%d to %s failed: %v", key, rec.Version, m.ID, err)
+				break
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				outcome = "rejected"
+				s.replicationErrors.Add(1)
+				s.logf("replicate %s v%d to %s rejected: %d", key, rec.Version, m.ID, resp.StatusCode)
+			} else {
+				s.replications.Add(1)
+			}
+		}
+		s.metrics.Counter(metricReplicationsTotal, metrics.Labels{
+			"peer": m.ID, "outcome": outcome,
+		}).Inc()
+	}
+}
+
+// handleReplicate applies one replicated plan record from a peer. The
+// write is version-gated (stale versions are no-ops) and never
+// re-replicated.
+func (s *Server) handleReplicate(rw http.ResponseWriter, req *http.Request) {
+	if s.cluster == nil || s.store == nil {
+		writeError(rw, http.StatusNotFound, fmt.Errorf("cluster replication not enabled"))
+		return
+	}
+	var rec store.Record
+	if err := json.NewDecoder(req.Body).Decode(&rec); err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding record: %w", err))
+		return
+	}
+	applied, err := s.store.Apply(rec)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"applied": applied,
+		"version": rec.Version,
+	})
+}
+
+// ClusterMemberInfo is one member row of the GET /cluster reply.
+type ClusterMemberInfo struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Self   bool   `json:"self,omitempty"`
+	Health string `json:"health"`
+	// RingShare is the fraction of the fingerprint hash space this
+	// member owns (shares sum to 1 across the membership).
+	RingShare float64 `json:"ringShare"`
+}
+
+// ClusterInfo is the GET /cluster reply: this node's view of the
+// topology.
+type ClusterInfo struct {
+	Enabled  bool                `json:"enabled"`
+	Self     string              `json:"self,omitempty"`
+	Replicas int                 `json:"replicas,omitempty"`
+	VNodes   int                 `json:"vnodes,omitempty"`
+	Members  []ClusterMemberInfo `json:"members,omitempty"`
+
+	Forwards          uint64 `json:"forwards"`
+	ForwardErrors     uint64 `json:"forwardErrors"`
+	Replications      uint64 `json:"replications"`
+	ReplicationErrors uint64 `json:"replicationErrors"`
+	LocalFallbacks    uint64 `json:"localFallbacks"`
+}
+
+func (s *Server) handleClusterInfo(rw http.ResponseWriter, req *http.Request) {
+	if s.cluster == nil {
+		writeJSON(rw, http.StatusOK, ClusterInfo{Enabled: false})
+		return
+	}
+	shares := s.cluster.Ring().OwnershipShare()
+	info := ClusterInfo{
+		Enabled:           true,
+		Self:              s.cluster.Self(),
+		Replicas:          s.cluster.ReplicationFactor(),
+		VNodes:            s.cluster.Ring().VNodes(),
+		Forwards:          s.forwards.Load(),
+		ForwardErrors:     s.forwardErrors.Load(),
+		Replications:      s.replications.Load(),
+		ReplicationErrors: s.replicationErrors.Load(),
+		LocalFallbacks:    s.localFallbacks.Load(),
+	}
+	for _, m := range s.cluster.Members() {
+		info.Members = append(info.Members, ClusterMemberInfo{
+			ID:        m.ID,
+			Addr:      m.Addr,
+			Self:      m.ID == s.cluster.Self(),
+			Health:    s.cluster.Health(m.ID).String(),
+			RingShare: shares[m.ID],
+		})
+	}
+	writeJSON(rw, http.StatusOK, info)
+}
+
+// wireJobID qualifies a local job id with this node's id so any node
+// can route job lookups and cancels back to where the record lives.
+func (s *Server) wireJobID(id string) string {
+	if s.cluster == nil {
+		return id
+	}
+	return s.cluster.Self() + "." + id
+}
+
+// splitJobID resolves a wire job id to (node, local id). Without a
+// cluster — or when the prefix names no known member — the id is
+// treated as local and node is "".
+func (s *Server) splitJobID(wire string) (node, id string) {
+	if s.cluster == nil {
+		return "", wire
+	}
+	if n, rest, ok := strings.Cut(wire, "."); ok {
+		if _, known := s.cluster.Member(n); known {
+			return n, rest
+		}
+	}
+	return "", wire
+}
+
+// proxyJobByID forwards a /jobs/{id} request to the node whose prefix
+// the id carries. Returns true when the response was written (relayed
+// or a 503 because the owning node is unreachable).
+func (s *Server) proxyJobByID(rw http.ResponseWriter, req *http.Request, node string) bool {
+	if s.cluster == nil || forwarded(req) || node == "" || node == s.cluster.Self() {
+		return false
+	}
+	m, ok := s.cluster.Member(node)
+	if !ok {
+		return false
+	}
+	rid := RequestIDFrom(req.Context())
+	if s.forwardTo(rw, req, m, rid, nil) {
+		return true
+	}
+	// The job record lives only on that node; there is no replica to
+	// fall back to.
+	writeError(rw, http.StatusServiceUnavailable,
+		fmt.Errorf("node %s holding job %s.* is unreachable", node, node))
+	return true
+}

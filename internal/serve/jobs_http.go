@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -25,12 +26,21 @@ type JobsSubmitRequest struct {
 	Jobs []JobSpec `json:"jobs,omitempty"`
 }
 
-// JobStatus is the wire view of one job.
+// JobStatus is the wire view of one job. In cluster mode the ID is
+// node-qualified ("n2.job-000017") so any member can route a status
+// poll or cancel back to the node holding the record.
 type JobStatus struct {
 	ID       string `json:"id"`
 	Key      string `json:"key"`
 	State    string `json:"state"`
 	Priority int    `json:"priority"`
+
+	// Node names the cluster member holding the job record (empty
+	// outside cluster mode).
+	Node string `json:"node,omitempty"`
+
+	// RequestID is the ingress request identity that created the job.
+	RequestID string `json:"requestId,omitempty"`
 
 	// Deduped marks a submission that attached to an already-active job
 	// for the same workload instead of enqueuing duplicate work.
@@ -51,15 +61,19 @@ type JobsListResponse struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
-func jobStatusOf(snap jobs.Snapshot, deduped bool) JobStatus {
+func (s *Server) jobStatus(snap jobs.Snapshot, deduped bool) JobStatus {
 	st := JobStatus{
-		ID:          snap.ID,
+		ID:          s.wireJobID(snap.ID),
 		Key:         snap.Key,
 		State:       string(snap.State),
 		Priority:    snap.Priority,
+		RequestID:   snap.RequestID,
 		Deduped:     deduped,
 		SubmittedAt: snap.Submitted,
 		Events:      snap.Events,
+	}
+	if s.cluster != nil {
+		st.Node = s.cluster.Self()
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -83,18 +97,31 @@ func jobStatusOf(snap jobs.Snapshot, deduped bool) JobStatus {
 // queued to fail later. Submissions for a workload that is already
 // queued or running attach to the existing job (deduped=true).
 func (s *Server) SubmitJob(spec JobSpec) (JobStatus, error) {
+	return s.submitJob(spec, "")
+}
+
+// submitJob is SubmitJob carrying the ingress request id. The job's
+// task resolves through clusterTune: a fingerprint owned by a peer is
+// forwarded there, so the fleet still runs at most one search per
+// fingerprint even for jobs submitted (or batched) on a non-owner.
+func (s *Server) submitJob(spec JobSpec, requestID string) (JobStatus, error) {
 	if _, _, _, err := spec.normalize(); err != nil {
 		return JobStatus{}, &badRequestError{err}
 	}
 	ws := spec.WorkloadSpec // normalized copy: defaults resolved
 	key := ws.key()
-	snap, deduped, err := s.jobs.Submit(key, spec.Priority, func(ctx context.Context, emit func(string)) (any, error) {
+	snap, deduped, err := s.jobs.SubmitTraced(key, spec.Priority, requestID, func(ctx context.Context, emit func(string)) (any, error) {
+		if requestID != "" {
+			ctx = withRequestID(ctx, requestID)
+		}
 		emit("tuning " + key)
-		resp, err := s.tuneCtx(ctx, ws)
+		resp, err := s.clusterTune(ctx, ws)
 		if err != nil {
 			return nil, err
 		}
 		switch {
+		case s.cluster != nil && s.cluster.Owner(key) != s.cluster.Self():
+			emit("resolved by owner " + s.cluster.Owner(key))
 		case resp.FromStore:
 			emit("served from plan store")
 		case resp.Cached:
@@ -110,40 +137,65 @@ func (s *Server) SubmitJob(spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
-	return jobStatusOf(snap, deduped), nil
+	return s.jobStatus(snap, deduped), nil
 }
 
-// JobStatusByID snapshots one job.
+// JobStatusByID snapshots one job held by this node; wire ids carrying
+// this node's prefix are accepted alongside raw local ids.
 func (s *Server) JobStatusByID(id string) (JobStatus, bool) {
-	snap, ok := s.jobs.Get(id)
+	_, local := s.splitJobID(id)
+	snap, ok := s.jobs.Get(local)
 	if !ok {
 		return JobStatus{}, false
 	}
-	return jobStatusOf(snap, false), true
+	return s.jobStatus(snap, false), true
 }
 
 // WaitJob blocks until the job settles (or ctx expires) and returns its
 // final status. Used by batch CLI mode; the HTTP API polls instead.
 func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, error) {
-	snap, err := s.jobs.Wait(ctx, id)
+	_, local := s.splitJobID(id)
+	snap, err := s.jobs.Wait(ctx, local)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	return jobStatusOf(snap, false), nil
+	return s.jobStatus(snap, false), nil
 }
 
-// CancelJob cancels a queued or running job; false when the job is
-// unknown or already settled.
-func (s *Server) CancelJob(id string) bool { return s.jobs.Cancel(id) }
+// CancelJob cancels a queued or running job held by this node; false
+// when the job is unknown or already settled.
+func (s *Server) CancelJob(id string) bool {
+	_, local := s.splitJobID(id)
+	return s.jobs.Cancel(local)
+}
 
 func (s *Server) handleJobsSubmit(rw http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var jr JobsSubmitRequest
-	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil {
+	if err := json.Unmarshal(body, &jr); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	rid := RequestIDFrom(req.Context())
 	if len(jr.Jobs) == 0 {
-		st, err := s.SubmitJob(jr.JobSpec)
+		// Single-spec submissions are forwarded to the fingerprint's
+		// owner so the job record lives beside its plan-cache entry; a
+		// batch is accepted locally and each task forwards its own tune.
+		if s.cluster != nil && !forwarded(req) {
+			spec := jr.JobSpec.WorkloadSpec
+			if _, _, _, err := spec.normalize(); err != nil {
+				writeError(rw, http.StatusBadRequest, err)
+				return
+			}
+			if s.proxyKeyed(rw, req, spec.key(), body) {
+				return
+			}
+		}
+		st, err := s.submitJob(jr.JobSpec, rid)
 		if err != nil {
 			writeError(rw, statusForSubmit(err), err)
 			return
@@ -153,7 +205,7 @@ func (s *Server) handleJobsSubmit(rw http.ResponseWriter, req *http.Request) {
 	}
 	out := make([]JobStatus, 0, len(jr.Jobs))
 	for i, spec := range jr.Jobs {
-		st, err := s.SubmitJob(spec)
+		st, err := s.submitJob(spec, rid)
 		if err != nil {
 			// Reject the whole batch on the first invalid spec: partial
 			// submission would leave the caller guessing which half ran.
@@ -173,16 +225,21 @@ func (s *Server) handleJobsSubmit(rw http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleJobsList(rw http.ResponseWriter, req *http.Request) {
+	// The list is this node's jobs; in cluster mode every id is
+	// node-qualified so a client can follow any of them from any node.
 	snaps := s.jobs.List()
 	out := make([]JobStatus, len(snaps))
 	for i, snap := range snaps {
-		out[i] = jobStatusOf(snap, false)
+		out[i] = s.jobStatus(snap, false)
 	}
 	writeJSON(rw, http.StatusOK, JobsListResponse{Jobs: out})
 }
 
 func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	if node, _ := s.splitJobID(id); s.proxyJobByID(rw, req, node) {
+		return
+	}
 	st, ok := s.JobStatusByID(id)
 	if !ok {
 		writeError(rw, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
@@ -193,6 +250,9 @@ func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleJobCancel(rw http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	if node, _ := s.splitJobID(id); s.proxyJobByID(rw, req, node) {
+		return
+	}
 	st, ok := s.JobStatusByID(id)
 	if !ok {
 		writeError(rw, http.StatusNotFound, fmt.Errorf("unknown job %q", id))

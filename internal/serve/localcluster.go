@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// LocalCluster wires n Servers into an in-process ring over a
+// switchboard transport: peer forwards, health probes, and replication
+// all route to sibling handlers with zero network variance. It backs
+// the cluster tests, `mistload -nodes`, and the CI cluster-smoke job.
+// Node ids are "n1".."nN" with synthetic addresses "http://n<i>".
+type LocalCluster struct {
+	ids      []string
+	servers  map[string]*Server
+	clusters map[string]*cluster.Cluster
+	sb       *switchboard
+}
+
+// LocalClusterOptions configures NewLocalCluster.
+type LocalClusterOptions struct {
+	// Nodes is the member count (min 1).
+	Nodes int
+	// Replicas is the replication factor R (default 2, capped at Nodes).
+	Replicas int
+	// VNodes per member (default cluster.DefaultVNodes).
+	VNodes int
+	// StoreDirs optionally backs node i's plan store with StoreDirs[i];
+	// missing or empty entries get in-memory stores (replication works
+	// the same either way).
+	StoreDirs []string
+	// ProbeInterval starts each node's active health prober when > 0;
+	// at 0 failure detection is passive only (failed forwards), which is
+	// already enough to route around a killed node.
+	ProbeInterval time.Duration
+	// ServerOptions are applied to every node (limits, workers, ...).
+	ServerOptions []Option
+}
+
+// switchboard routes peer requests by synthetic host name to sibling
+// handlers; a killed node answers every peer and probe with a transport
+// error, exactly like a dead process.
+type switchboard struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+	dead     map[string]bool
+}
+
+func (sb *switchboard) Do(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	sb.mu.RLock()
+	h, ok := sb.handlers[host]
+	dead := sb.dead[host]
+	sb.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("localcluster: unknown node %q", host)
+	}
+	if dead {
+		return nil, fmt.Errorf("localcluster: node %q is down", host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// NewLocalCluster builds and wires the node set.
+func NewLocalCluster(opt LocalClusterOptions) (*LocalCluster, error) {
+	if opt.Nodes < 1 {
+		return nil, fmt.Errorf("localcluster: need at least one node")
+	}
+	lc := &LocalCluster{
+		servers:  map[string]*Server{},
+		clusters: map[string]*cluster.Cluster{},
+		sb:       &switchboard{handlers: map[string]http.Handler{}, dead: map[string]bool{}},
+	}
+	members := make([]cluster.Member, opt.Nodes)
+	for i := range members {
+		id := fmt.Sprintf("n%d", i+1)
+		members[i] = cluster.Member{ID: id, Addr: "http://" + id}
+		lc.ids = append(lc.ids, id)
+	}
+	for i, m := range members {
+		dir := ""
+		if i < len(opt.StoreDirs) {
+			dir = opt.StoreDirs[i]
+		}
+		st, err := store.Open(dir) // "" degrades to in-memory
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:         m.ID,
+			Members:      members,
+			Replicas:     opt.Replicas,
+			VNodes:       opt.VNodes,
+			Client:       lc.sb,
+			ProbeTimeout: 500 * time.Millisecond,
+			DownAfter:    2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := New(append(append([]Option{}, opt.ServerOptions...),
+			WithStore(st), WithCluster(cl))...)
+		lc.servers[m.ID] = srv
+		lc.clusters[m.ID] = cl
+		lc.sb.mu.Lock()
+		lc.sb.handlers[m.ID] = srv.Handler()
+		lc.sb.mu.Unlock()
+	}
+	if opt.ProbeInterval > 0 {
+		for _, cl := range lc.clusters {
+			cl.Start(opt.ProbeInterval)
+		}
+	}
+	return lc, nil
+}
+
+// IDs returns the node ids in ring-membership order (n1..nN).
+func (lc *LocalCluster) IDs() []string { return append([]string(nil), lc.ids...) }
+
+// Node returns one node's server (nil for unknown ids).
+func (lc *LocalCluster) Node(id string) *Server { return lc.servers[id] }
+
+// Cluster returns one node's cluster view (nil for unknown ids).
+func (lc *LocalCluster) Cluster(id string) *cluster.Cluster { return lc.clusters[id] }
+
+// Handler returns one node's HTTP handler (nil for unknown ids) — the
+// ingress surface a load generator targets.
+func (lc *LocalCluster) Handler(id string) http.Handler {
+	s, ok := lc.servers[id]
+	if !ok {
+		return nil
+	}
+	return s.Handler()
+}
+
+// Kill makes a node unreachable to its peers (forwards, probes, and
+// replication to it fail like a dead process) and cancels its queued
+// and running jobs. Its stores and counters stay readable through the
+// *Server handle for post-mortem assertions.
+func (lc *LocalCluster) Kill(id string) error {
+	s, ok := lc.servers[id]
+	if !ok {
+		return fmt.Errorf("localcluster: unknown node %q", id)
+	}
+	lc.sb.mu.Lock()
+	lc.sb.dead[id] = true
+	lc.sb.mu.Unlock()
+	lc.clusters[id].Stop()
+	s.Close()
+	return nil
+}
+
+// Close stops every node's prober and job workers.
+func (lc *LocalCluster) Close() {
+	for _, cl := range lc.clusters {
+		cl.Stop()
+	}
+	for _, s := range lc.servers {
+		s.Close()
+	}
+}

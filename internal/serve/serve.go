@@ -49,12 +49,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hardware"
 	"repro/internal/jobs"
@@ -160,6 +162,17 @@ func (ws *WorkloadSpec) fingerprint() store.Fingerprint {
 // identity.
 func (ws *WorkloadSpec) key() string {
 	return ws.fingerprint().Key()
+}
+
+// CanonicalKey resolves the spec's defaults and returns its canonical
+// fingerprint key — the one identity shared by the plan cache, the
+// durable store, and cluster ring ownership. The receiver is a copy;
+// the caller's spec is left as written.
+func (ws WorkloadSpec) CanonicalKey() (string, error) {
+	if _, _, _, err := ws.normalize(); err != nil {
+		return "", err
+	}
+	return ws.key(), nil
 }
 
 func spaceByName(name string) (core.Space, error) {
@@ -278,6 +291,16 @@ type Stats struct {
 	// status codes, and latency quantiles from the metrics registry.
 	Rejected429 uint64          `json:"rejected429"`
 	HTTP        []EndpointStats `json:"http,omitempty"`
+
+	// Sharded-tier traffic (zero-valued without a cluster): requests
+	// forwarded to the owning peer, forward transport failures, plan
+	// records replicated out, replication failures, and requests served
+	// locally because no replica was reachable.
+	ClusterForwards          uint64 `json:"clusterForwards,omitempty"`
+	ClusterForwardErrors     uint64 `json:"clusterForwardErrors,omitempty"`
+	ClusterReplications      uint64 `json:"clusterReplications,omitempty"`
+	ClusterReplicationErrors uint64 `json:"clusterReplicationErrors,omitempty"`
+	ClusterLocalFallbacks    uint64 `json:"clusterLocalFallbacks,omitempty"`
 }
 
 // planEntry is one plan-cache slot; ready closes when the tuner run
@@ -313,6 +336,9 @@ type Server struct {
 	jobs       *jobs.Manager
 	jobWorkers int
 
+	cluster *cluster.Cluster
+	logFn   func(format string, args ...any)
+
 	limits       Limits
 	metrics      *metrics.Registry
 	tuneGate     *gate
@@ -326,6 +352,12 @@ type Server struct {
 	storeHits        atomic.Uint64
 	warmStarts       atomic.Uint64
 	rejected429      atomic.Uint64
+
+	forwards          atomic.Uint64
+	forwardErrors     atomic.Uint64
+	replications      atomic.Uint64
+	replicationErrors atomic.Uint64
+	localFallbacks    atomic.Uint64
 }
 
 // Option configures a Server.
@@ -364,6 +396,21 @@ func WithLimits(l Limits) Option {
 	return func(s *Server) { s.limits = l }
 }
 
+// WithCluster attaches this node's view of the sharded tier: requests
+// for fingerprints owned by a peer are transparently forwarded, plans
+// tuned here are write-through replicated to the fingerprint's other
+// replicas, and GET /cluster exposes the topology. The cluster's
+// health-prober lifecycle (Start/Stop) stays with the caller.
+func WithCluster(cl *cluster.Cluster) Option {
+	return func(s *Server) { s.cluster = cl }
+}
+
+// WithLog installs a request/forwarding logger (log.Printf-shaped);
+// every line carries the ingress request id. Default: no logging.
+func WithLog(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logFn = logf }
+}
+
 // New builds a service.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -385,6 +432,11 @@ func New(opts ...Option) *Server {
 		qc = 1
 	}
 	s.jobs = jobs.NewManager(s.jobWorkers, qc)
+	if s.store != nil && s.cluster != nil {
+		// Write-through replication: every locally tuned plan lands on
+		// the fingerprint's other replicas before the response returns.
+		s.store.SetOnPut(s.replicateRecord)
+	}
 	return s
 }
 
@@ -429,6 +481,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.wrap("/jobs", nil, s.handleJobsList))
 	mux.HandleFunc("GET /jobs/{id}", s.wrap("/jobs/{id}", nil, s.handleJobGet))
 	mux.HandleFunc("DELETE /jobs/{id}", s.wrap("/jobs/{id}", nil, s.handleJobCancel))
+	mux.HandleFunc("GET /cluster", s.wrap("/cluster", nil, s.handleClusterInfo))
+	mux.HandleFunc("POST /cluster/replicate", s.wrap("/cluster/replicate", nil, s.handleReplicate))
 	return mux
 }
 
@@ -592,10 +646,27 @@ func (s *Server) handleTune(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.tuneRequests.Add(1)
+	// The body is read up front (not streamed into the decoder) because
+	// a non-owner must replay it verbatim to the owning peer.
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var tr TuneRequest
-	if err := json.NewDecoder(req.Body).Decode(&tr); err != nil {
+	if err := json.Unmarshal(body, &tr); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
+	}
+	if s.cluster != nil && !forwarded(req) {
+		spec := tr.WorkloadSpec
+		if _, _, _, err := spec.normalize(); err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		if s.proxyKeyed(rw, req, spec.key(), body) {
+			return
+		}
 	}
 	// The request context carries the per-request deadline (see wrap)
 	// and client disconnects; both propagate into the running search.
@@ -613,14 +684,24 @@ func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.simulateRequests.Add(1)
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var sr SimulateRequest
-	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+	if err := json.Unmarshal(body, &sr); err != nil {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	w, cl, space, err := sr.WorkloadSpec.normalize()
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	// Forward to the fingerprint's owner (plan cache and calibrated
+	// analyzer live there), inline plan included.
+	if s.proxyKeyed(rw, req, sr.WorkloadSpec.key(), body) {
 		return
 	}
 	p := sr.Plan
@@ -731,6 +812,11 @@ func (s *Server) scalarStats() Stats {
 		st.WorkerUtilization = float64(js.Busy) / float64(js.Workers)
 	}
 	st.Rejected429 = s.rejected429.Load()
+	st.ClusterForwards = s.forwards.Load()
+	st.ClusterForwardErrors = s.forwardErrors.Load()
+	st.ClusterReplications = s.replications.Load()
+	st.ClusterReplicationErrors = s.replicationErrors.Load()
+	st.ClusterLocalFallbacks = s.localFallbacks.Load()
 	return st
 }
 
@@ -743,9 +829,13 @@ func (e *badRequestError) Unwrap() error { return e.err }
 func statusFor(err error) int {
 	var bad *badRequestError
 	var over *overloadError
+	var remote *remoteStatusError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.As(err, &remote):
+		// A proxied peer already classified the failure; relay its code.
+		return remote.status
 	case errors.As(err, &over), errors.Is(err, jobs.ErrQueueFull):
 		// Backpressure: the admission gate or the job queue is full.
 		// Degrade promptly with a retry hint instead of hanging.

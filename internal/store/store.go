@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -83,6 +84,12 @@ type Store struct {
 
 	mu   sync.RWMutex
 	recs map[string]Record
+
+	// onPut, when set, observes every locally originated write (Put) —
+	// the cluster tier hangs its write-through replication here. It is
+	// deliberately NOT fired by Apply, so replicated records never
+	// re-replicate.
+	onPut func(Record)
 
 	// LoadSkipped counts directory entries that existed but could not be
 	// decoded as records at Open time (corrupt or foreign files); they
@@ -147,12 +154,39 @@ func (s *Store) Len() int {
 	return len(s.recs)
 }
 
+// Records snapshots every indexed record, sorted by key — the cluster
+// tier's audit surface (e.g. asserting each fingerprint was tuned
+// exactly once fleet-wide by checking versions across nodes).
+func (s *Store) Records() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.recs[k])
+	}
+	return out
+}
+
 // Get returns the record for an exact fingerprint.
 func (s *Store) Get(f Fingerprint) (Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rec, ok := s.recs[f.Key()]
 	return rec, ok
+}
+
+// SetOnPut installs the write-through hook, called (outside the store
+// lock) after every successful Put with the record as stored. Install
+// before serving traffic; one hook at a time.
+func (s *Store) SetOnPut(fn func(Record)) {
+	s.mu.Lock()
+	s.onPut = fn
+	s.mu.Unlock()
 }
 
 // Put indexes (and, when directory-backed, durably writes) a record,
@@ -166,16 +200,51 @@ func (s *Store) Put(rec Record) (Record, error) {
 	key := rec.Fingerprint.Key()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rec.Version = s.recs[key].Version + 1
 	rec.UpdatedAt = time.Now().UTC()
 	if s.dir != "" {
 		if err := s.writeLocked(key, rec); err != nil {
+			s.mu.Unlock()
 			return Record{}, err
 		}
 	}
 	s.recs[key] = rec
+	hook := s.onPut
+	s.mu.Unlock()
+	// The hook runs outside the lock: replication does network work and
+	// must not serialize against concurrent reads and writes.
+	if hook != nil {
+		hook(rec)
+	}
 	return rec, nil
+}
+
+// Apply installs a record replicated from a peer, preserving the
+// incoming Version: the write happens only when the incoming version is
+// newer than the local one (false, nil otherwise), and the onPut hook
+// does not fire — replica writes never cascade.
+func (s *Store) Apply(rec Record) (bool, error) {
+	if rec.Plan == nil {
+		return false, fmt.Errorf("store: refusing to apply a nil plan for %s", rec.Fingerprint.Key())
+	}
+	if rec.Version < 1 {
+		return false, fmt.Errorf("store: refusing to apply unversioned record for %s", rec.Fingerprint.Key())
+	}
+	rec.Fingerprint = rec.Fingerprint.canonical()
+	key := rec.Fingerprint.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.recs[key]; ok && cur.Version >= rec.Version {
+		return false, nil
+	}
+	if s.dir != "" {
+		if err := s.writeLocked(key, rec); err != nil {
+			return false, err
+		}
+	}
+	s.recs[key] = rec
+	return true, nil
 }
 
 // writeLocked persists one record atomically: marshal to a temp file in

@@ -1,0 +1,125 @@
+// Command bench2json converts `go test -bench` text output (stdin)
+// into a machine-readable JSON document (stdout, or -out <file>) so
+// benchmark trajectories can be recorded per PR (BENCH_PR4.json, ...)
+// and diffed across revisions.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 3x ./... | go run ./tools/bench2json -out BENCH_PR4.json
+//
+// Non-benchmark lines (test chatter, pass/ok footers) are ignored, so
+// several bench invocations can be concatenated on one stdin. Exits
+// non-zero if no benchmark line was found — an empty trajectory file
+// would silently record "no regression" forever.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	// Metrics holds every additional "value unit" pair on the line
+	// (B/op, allocs/op, custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion  string      `json:"goVersion"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2json: ")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		// "pkg: repro/internal/core" headers attribute the lines below.
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   12 B/op   4 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The rest is "value unit" pairs.
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+			ok = true
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, ok
+}

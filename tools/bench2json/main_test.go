@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkWarmStartTune/warm-8   \t       3\t 123456789 ns/op\t        42 evals")
+	if !ok {
+		t.Fatal("bench line rejected")
+	}
+	if b.Name != "BenchmarkWarmStartTune/warm-8" || b.Iterations != 3 || b.NsPerOp != 123456789 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["evals"] != 42 {
+		t.Fatalf("metrics %+v", b.Metrics)
+	}
+	for _, bad := range []string{
+		"ok  \trepro\t0.5s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkNoNsPerOp 3 12 B/op",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
