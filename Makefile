@@ -2,12 +2,25 @@ GO ?= go
 # Fixed randomized-testing budget for the schedule property tests
 # (testing/quick's -quickchecks flag scales their MaxCountScale).
 QUICKCHECKS ?= 200
+# Where bench-json records its trajectory point. The committed baseline
+# is the PR-agnostic BENCH.json; override BENCH_OUT to write elsewhere
+# (bench-regression writes a throwaway BENCH_NEW.json and compares).
+BENCH_OUT ?= BENCH.json
+# Allowed fractional ns/op growth before bench-regression fails.
+BENCH_TOLERANCE ?= 0.25
 
-.PHONY: ci vet build test race property bench bench-json serve fuzz load-smoke cluster-smoke
+.PHONY: ci vet build test race property bench bench-json bench-regression serve fuzz lint load-smoke cluster-smoke elastic-smoke
 
-ci: vet build race property ## full tier-1 + race + property gate
+ci: lint build race property ## full tier-1 + race + property gate
 
 vet:
+	$(GO) vet ./...
+
+lint: ## gofmt must have nothing to say, and vet must pass
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 build:
@@ -30,6 +43,9 @@ cluster-smoke: ## 3-node in-process cluster: mixed replay, then a failover drill
 	$(GO) run ./cmd/mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1 -concurrency 4
 	$(GO) run ./cmd/mistload -scenario failover -inproc -nodes 3 -duration 6s -seed 1 -concurrency 4 -kill n2@3s
 
+elastic-smoke: ## 3-node cluster with a mid-run join and drain; fails on any 5xx, transport error, or post-drill replication/single-flight violation
+	$(GO) run ./cmd/mistload -scenario elastic -inproc -nodes 3 -duration 7s -seed 1 -concurrency 4 -join n4@2s -drain n1@4s
+
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
@@ -38,11 +54,15 @@ bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortizati
 	$(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
 
-bench-json: ## run the bench set and record a machine-readable trajectory point
+bench-json: ## run the bench set and record a machine-readable trajectory point at $(BENCH_OUT)
 	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core ; \
 	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve ) \
-	| $(GO) run ./tools/bench2json -out BENCH_PR4.json
+	| $(GO) run ./tools/bench2json -out $(BENCH_OUT)
+
+bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op growth
+	$(MAKE) bench-json BENCH_OUT=BENCH_NEW.json
+	$(GO) run ./tools/bench2json -tolerance $(BENCH_TOLERANCE) -compare BENCH.json BENCH_NEW.json
 
 serve: ## run the tuning service locally
 	$(GO) run ./cmd/mistserve -addr :8080

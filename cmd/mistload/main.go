@@ -1,7 +1,7 @@
 // Command mistload replays a named load scenario against the tuning
 // service and prints a machine-readable JSON report (per-endpoint
 // p50/p95/p99 latency, throughput, status-code counts) suitable for
-// BENCH_*.json trajectory tracking.
+// BENCH*.json trajectory tracking.
 //
 // The op stream is deterministic in (-scenario, -seed): the same pair
 // replays the same request sequence, so two runs are comparable. Pick a
@@ -11,22 +11,36 @@
 //
 // Cluster targets: -addr takes a comma-separated list of node URLs
 // (ops round-robin across them), and -inproc -nodes N spins up an
-// in-process N-node cluster wired over an in-memory transport. With
-// -kill id@delay a node is killed mid-run — the failover drill: the
-// survivors must keep answering its fingerprints from replicated
-// stores with zero 5xx.
+// in-process N-node cluster wired over an in-memory transport. Three
+// mid-run drills mirror the failure modes of an elastic fleet:
+//
+//	-kill  id@delay — node dies; survivors must keep answering its
+//	                  fingerprints from replicated stores with zero 5xx
+//	-join  id@delay — a fresh node joins the ring mid-run; ownership
+//	                  moves, records migrate, no request may 5xx and no
+//	                  fingerprint may be re-searched
+//	-drain id@delay — a member leaves gracefully: it keeps serving by
+//	                  forwarding, hands its records off, and the fleet
+//	                  restores the replication factor
+//
+// After a join or drain drill the run settles repair and audits the
+// elastic invariants (every fingerprint at exactly R live replicas,
+// every record Version==1, searches == distinct fingerprints), failing
+// the run on any violation.
 //
 // Examples:
 //
 //	mistload -scenario mixed -inproc -duration 5s -seed 1
 //	mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1
 //	mistload -scenario failover -inproc -nodes 3 -duration 6s -kill n2@3s
+//	mistload -scenario elastic -inproc -nodes 3 -duration 7s -join n4@2s -drain n1@4s
 //	mistload -scenario cold-storm -addr http://localhost:8080 -duration 30s -rate 50
 //	mistload -scenario mixed -addr http://10.0.0.1:8080,http://10.0.0.2:8080 -duration 30s
 //	mistload -list
 //
 // Exit status: 0 on a clean run; 1 when the run saw server 5xx or
-// transport errors (pass -allow-5xx to report them without failing).
+// transport errors (pass -allow-5xx to report them without failing), or
+// when the post-drill replication audit found a violation.
 package main
 
 import (
@@ -61,6 +75,8 @@ func main() {
 		nodes       = flag.Int("nodes", 1, "in-process cluster size (with -inproc; 1 = plain single server)")
 		replicas    = flag.Int("replicas", 2, "in-process cluster replication factor")
 		kill        = flag.String("kill", "", "kill an in-process node mid-run, as id@delay (e.g. n2@3s; needs -nodes > 1)")
+		join        = flag.String("join", "", "join a fresh node to the in-process ring mid-run, as id@delay (e.g. n4@2s; needs -nodes > 1)")
+		drain       = flag.String("drain", "", "drain an in-process node mid-run, as id@delay (e.g. n1@4s; needs -nodes > 1)")
 		maxQueue    = flag.Int("max-queue", 0, "in-process server admission/job-queue bound (0: default 256)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "in-process server per-request deadline (0: none)")
 		workers     = flag.Int("workers", 2, "in-process server job workers")
@@ -85,8 +101,10 @@ func main() {
 	if *nodes > 1 && !*inproc {
 		log.Fatal("-nodes needs -inproc (point -addr at the live nodes instead)")
 	}
-	if *kill != "" && *nodes <= 1 {
-		log.Fatal("-kill needs an in-process cluster (-inproc -nodes N)")
+	for flagName, v := range map[string]string{"-kill": *kill, "-join": *join, "-drain": *drain} {
+		if v != "" && *nodes <= 1 {
+			log.Fatalf("%s needs an in-process cluster (-inproc -nodes N)", flagName)
+		}
 	}
 	// -max-ops means a count-bound run: the 5s -duration default would
 	// silently truncate it on slow machines, breaking replay
@@ -115,7 +133,16 @@ func main() {
 		MaxOps:      *maxOps,
 		BaseURL:     *addr,
 	}
-	var target load.Target
+	var (
+		target  load.Target
+		auditLC *serve.LocalCluster // set for elastic (join/drain) drills
+		// The exactly-R audit is only sound when every dead node's loss
+		// has been declared: a killed member still in the ring keeps its
+		// replica slots, so its keys legitimately sit at R-1 live copies
+		// until a drain removes it (see DESIGN.md). A -kill without a
+		// matching -drain of the same node therefore skips the audit.
+		auditSound = true
+	)
 	switch {
 	case *addr == "" && *nodes <= 1:
 		s := serve.New(
@@ -131,6 +158,9 @@ func main() {
 			Nodes:         *nodes,
 			Replicas:      *replicas,
 			ProbeInterval: 250 * time.Millisecond,
+			// Background repair keeps migration overlapping the drill
+			// itself; the post-run Settle only finishes the tail.
+			RebalanceInterval: 500 * time.Millisecond,
 			ServerOptions: []serve.Option{
 				serve.WithJobWorkers(*workers),
 				serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
@@ -150,7 +180,10 @@ func main() {
 			log.Fatal(err)
 		}
 		if *kill != "" {
-			id, delay := parseKill(*kill)
+			id, delay := parseDrill("-kill", *kill)
+			if drainID, _ := drillTarget(*drain); drainID != id {
+				auditSound = false
+			}
 			idx := -1
 			for i, nid := range ids {
 				if nid == id {
@@ -167,6 +200,36 @@ func main() {
 					return
 				}
 				log.Printf("killed node %s after %v; survivors must serve its fingerprints from replicas", id, delay)
+			})
+		}
+		if *join != "" {
+			id, delay := parseDrill("-join", *join)
+			for _, nid := range ids {
+				if nid == id {
+					log.Fatalf("-join: node %q already in the cluster (have %v)", id, ids)
+				}
+			}
+			auditLC = lc
+			time.AfterFunc(delay, func() {
+				if _, err := lc.Join(id); err != nil {
+					log.Printf("join %s: %v", id, err)
+					return
+				}
+				mt.Add(load.NewHandlerTarget(lc.Handler(id)))
+				log.Printf("joined node %s after %v; ownership moves, repair migrates its records", id, delay)
+			})
+		}
+		if *drain != "" {
+			id, delay := parseDrill("-drain", *drain)
+			auditLC = lc
+			time.AfterFunc(delay, func() {
+				if err := lc.Drain(id); err != nil {
+					log.Printf("drain %s: %v", id, err)
+					return
+				}
+				// The drained node stays in the rotation on purpose: it
+				// must keep answering (by forwarding) with zero 5xx.
+				log.Printf("drained node %s after %v; it keeps serving by forwarding while handing records off", id, delay)
 			})
 		}
 		target = mt
@@ -219,17 +282,47 @@ func main() {
 	if rep.Server5xx > 0 && !*allow5xx {
 		log.Fatalf("FAIL: %d server 5xx responses", rep.Server5xx)
 	}
+	if auditLC != nil && !auditSound {
+		log.Printf("skipping the elastic audit: -kill without draining the same node leaves its keys legitimately under-replicated until the loss is declared")
+	}
+	if auditLC != nil && auditSound {
+		settleCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := auditLC.Settle(settleCtx, 3); err != nil {
+			log.Fatalf("FAIL: settling repair: %v", err)
+		}
+		audit, err := auditLC.AuditReplication()
+		if err != nil {
+			log.Fatalf("FAIL: replication audit: %v", err)
+		}
+		if len(audit.Violations) > 0 {
+			for _, v := range audit.Violations {
+				log.Printf("audit violation: %s", v)
+			}
+			log.Fatalf("FAIL: %d elastic-invariant violations after the drill", len(audit.Violations))
+		}
+		log.Printf("elastic audit clean: epoch %d, %d fingerprints each on exactly %d of live members %v, %d searches total",
+			audit.Epoch, audit.Fingerprints, min(audit.Replicas, len(audit.Live)), audit.Live, audit.SearchesRun)
+	}
 }
 
-// parseKill parses the -kill wire format id@delay (e.g. "n2@3s").
-func parseKill(s string) (string, time.Duration) {
+// parseDrill parses the shared drill wire format id@delay (e.g.
+// "n2@3s") used by -kill, -join, and -drain.
+func parseDrill(flagName, s string) (string, time.Duration) {
 	id, rest, ok := strings.Cut(s, "@")
 	if !ok || id == "" {
-		log.Fatalf("-kill: want id@delay, got %q", s)
+		log.Fatalf("%s: want id@delay, got %q", flagName, s)
 	}
 	d, err := time.ParseDuration(rest)
 	if err != nil || d < 0 {
-		log.Fatalf("-kill: bad delay in %q: %v", s, err)
+		log.Fatalf("%s: bad delay in %q: %v", flagName, s, err)
 	}
 	return id, d
+}
+
+// drillTarget extracts the id of a drill spec without validating it
+// ("" when the flag is unset or malformed — parseDrill reports those).
+func drillTarget(s string) (string, bool) {
+	id, _, ok := strings.Cut(s, "@")
+	return id, ok
 }

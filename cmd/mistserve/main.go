@@ -6,6 +6,19 @@
 // searches. It shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight tuning requests.
 //
+// Cluster mode comes in two flavors:
+//
+//   - static boot: -node-id + -peers name the full membership up front;
+//   - elastic join: -node-id + -advertise + -join <peer-url> boots a
+//     fresh node straight into a live cluster — it announces itself to
+//     one seed peer, adopts the cluster's membership view, and the
+//     background rebalancer pulls the records it now replicates.
+//
+// Members leave gracefully via `POST /cluster/drain {"id":"nX"}` on any
+// live node: the ring shrinks, the drained node keeps serving (by
+// forwarding) while it hands its records off, and repair restores the
+// replication factor among the survivors.
+//
 // Example session:
 //
 //	mistserve -addr :8080 -store-dir /var/lib/mist/plans &
@@ -13,6 +26,14 @@
 //	curl -s localhost:8080/jobs -d '{"jobs":[{"model":"gpt3-2.7b","gpus":4,"batch":64},{"model":"gpt3-2.7b","gpus":8,"batch":64,"priority":1}]}'
 //	curl -s localhost:8080/jobs/job-000001
 //	curl -s localhost:8080/stats
+//
+// Elastic cluster session:
+//
+//	mistserve -addr :8081 -node-id n1 -peers 'n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082' &
+//	mistserve -addr :8082 -node-id n2 -peers 'n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082' &
+//	mistserve -addr :8083 -node-id n3 -advertise http://127.0.0.1:8083 -join http://127.0.0.1:8081 &
+//	curl -s localhost:8081/cluster                      # epoch 1, three members
+//	curl -s localhost:8082/cluster/drain -d '{"id":"n1"}'
 package main
 
 import (
@@ -43,11 +64,14 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "admission wait-queue and async job-queue bound; overflow answers 429 (0: default 256)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline, propagated into running searches (0: none)")
 
-		nodeID   = flag.String("node-id", "", "cluster mode: this node's id (must appear in -peers)")
-		peers    = flag.String("peers", "", "cluster mode: full static membership as id=addr,id=addr (self included)")
-		replicas = flag.Int("replicas", 2, "cluster mode: replication factor R (owner + R-1 replicas per fingerprint)")
-		vnodes   = flag.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0: default 128)")
-		probeIvl = flag.Duration("probe-interval", 2*time.Second, "cluster mode: active health-probe interval")
+		nodeID    = flag.String("node-id", "", "cluster mode: this node's id (must appear in -peers, or pair with -join)")
+		peers     = flag.String("peers", "", "cluster mode: full static membership as id=addr,id=addr (self included)")
+		joinPeer  = flag.String("join", "", "cluster mode: boot by joining a live cluster through this peer URL (needs -node-id and -advertise)")
+		advertise = flag.String("advertise", "", "cluster mode: the URL peers reach this node at (required with -join)")
+		replicas  = flag.Int("replicas", 2, "cluster mode: replication factor R (owner + R-1 replicas per fingerprint)")
+		vnodes    = flag.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0: default 128)")
+		probeIvl  = flag.Duration("probe-interval", 2*time.Second, "cluster mode: active health-probe interval")
+		rebalIvl  = flag.Duration("rebalance-interval", 15*time.Second, "cluster mode: anti-entropy repair cadence (0: kick-driven only)")
 	)
 	flag.Parse()
 
@@ -64,26 +88,38 @@ func main() {
 			RequestTimeout: *reqTimeout,
 		}),
 	}
-	if *storeDir != "" {
+	if *peers != "" && *joinPeer != "" {
+		log.Fatal("-peers and -join are mutually exclusive (static boot vs elastic join)")
+	}
+	clusterMode := *peers != "" || *joinPeer != ""
+	if (*nodeID == "") != !clusterMode {
+		log.Fatal("cluster mode needs -node-id together with -peers or -join")
+	}
+	if *storeDir != "" || clusterMode {
+		// Cluster mode always attaches a store (in-memory when no
+		// directory is given): replication, failover, and anti-entropy
+		// repair all move store records between nodes.
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if skipped := st.LoadSkipped(); skipped > 0 {
-			log.Printf("plan store: skipped %d unreadable documents in %s", skipped, *storeDir)
+		if *storeDir != "" {
+			if skipped := st.LoadSkipped(); skipped > 0 {
+				log.Printf("plan store: skipped %d unreadable documents in %s", skipped, *storeDir)
+			}
+			log.Printf("plan store: %d plans loaded from %s", st.Len(), *storeDir)
 		}
-		log.Printf("plan store: %d plans loaded from %s", st.Len(), *storeDir)
 		opts = append(opts, serve.WithStore(st))
 	}
-	if (*nodeID == "") != (*peers == "") {
-		log.Fatal("cluster mode needs both -node-id and -peers")
-	}
-	if *nodeID != "" {
+
+	var cl *cluster.Cluster
+	switch {
+	case *peers != "":
 		members, err := cluster.ParsePeers(*peers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl, err := cluster.New(cluster.Config{
+		cl, err = cluster.New(cluster.Config{
 			Self:     *nodeID,
 			Members:  members,
 			Replicas: *replicas,
@@ -92,15 +128,100 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		log.Printf("cluster mode: node %s in a %d-member ring (R=%d, %d vnodes, probe every %v)",
+			*nodeID, len(members), cl.ReplicationFactor(), cl.Ring().VNodes(), *probeIvl)
+	case *joinPeer != "":
+		if *advertise == "" {
+			log.Fatal("-join needs -advertise (the URL peers reach this node at)")
+		}
+		self := cluster.Member{ID: *nodeID, Addr: *advertise}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:     *nodeID,
+			Members:  []cluster.Member{self},
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		view, err := cluster.JoinVia(jctx, &http.Client{Timeout: 10 * time.Second}, *joinPeer, self)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cl.AdoptView(view); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster mode: node %s joined via %s -> epoch %d (%d members, R=%d)",
+			*nodeID, *joinPeer, view.Epoch, len(view.Members), cl.ReplicationFactor())
+		// A join racing a concurrent membership change can lose the
+		// equal-epoch tie-break: probe-driven view reconciliation then
+		// converges this node onto a fleet view WITHOUT it (at the join
+		// epoch, or later if more changes landed meanwhile), and it
+		// would otherwise sit outside the ring forever. The
+		// disambiguation from an operator drain is membership history: a
+		// drain of this node can only exist in a view lineage that once
+		// INCLUDED it. So the watcher re-announces exclusions for as
+		// long as the node has never been observed in-ring (ProposeJoin
+		// is idempotent, so re-announcing an already-won join is a
+		// no-op), treats any exclusion AFTER having been in-ring as a
+		// drain that must stand, and retires once the node has been
+		// stably in-ring for a few probe rounds (long enough for
+		// reconciliation to have surfaced any divergence). A drain
+		// landing inside that short stabilization window can be
+		// contested at most once — re-issue it.
+		go func(self cluster.Member, seed string) {
+			ivl := *probeIvl
+			if ivl <= 0 {
+				ivl = 2 * time.Second // the checker's own probe default
+			}
+			everInRing := false
+			inRingStreak := 0
+			for {
+				time.Sleep(2 * ivl)
+				if cl.InRing() {
+					everInRing = true
+					if inRingStreak++; inRingStreak >= 3 {
+						return
+					}
+					continue
+				}
+				inRingStreak = 0
+				if everInRing {
+					log.Printf("cluster mode: node %s excluded after having been in the ring (operator drain); standing down", self.ID)
+					return
+				}
+				log.Printf("cluster mode: node %s lost its join race (view epoch %d excludes it); re-announcing via %s",
+					self.ID, cl.Epoch(), seed)
+				rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+				v, err := cluster.JoinVia(rctx, &http.Client{Timeout: 10 * time.Second}, seed, self)
+				rcancel()
+				if err != nil {
+					log.Printf("cluster mode: re-join failed: %v", err)
+					continue
+				}
+				_, _ = cl.AdoptView(v)
+			}
+		}(self, *joinPeer)
+	}
+	if cl != nil {
 		cl.Start(*probeIvl)
 		defer cl.Stop()
 		opts = append(opts, serve.WithCluster(cl))
-		log.Printf("cluster mode: node %s in a %d-member ring (R=%d, %d vnodes, probe every %v)",
-			*nodeID, len(members), cl.ReplicationFactor(), cl.Ring().VNodes(), *probeIvl)
 	}
 
+	s := serve.New(opts...)
+	if cl != nil {
+		// The background anti-entropy repairer: periodic passes plus an
+		// immediate one on every adopted membership change. For a node
+		// booted with -join, the first pass pulls every record it now
+		// replicates from its peers.
+		s.StartRebalancer(*rebalIvl)
+	}
 	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /healthz /stats /metrics)", *addr)
-	err := serve.New(opts...).ListenAndServe(ctx, *addr, *grace)
+	err := s.ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

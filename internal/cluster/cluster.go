@@ -3,11 +3,13 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,8 +29,8 @@ const (
 	HeaderServedBy = "X-Mist-Served-By"
 )
 
-// Member is one node of the static membership: a stable id plus the
-// base URL peers reach it at.
+// Member is one node of the membership: a stable id plus the base URL
+// peers reach it at.
 type Member struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
@@ -38,10 +40,14 @@ type Member struct {
 type Config struct {
 	// Self is this node's id; it must appear in Members.
 	Self string
-	// Members is the full static membership, self included.
+	// Members is the boot membership, self included. A node joining an
+	// existing cluster boots with just itself and adopts the live view
+	// (AdoptView / JoinVia); a statically configured fleet boots with
+	// the full list at epoch 0.
 	Members []Member
-	// Replicas is the replication factor R: each fingerprint gets an
-	// owner plus R−1 replicas (default 2, capped at the member count).
+	// Replicas is the target replication factor R: each fingerprint
+	// gets an owner plus R−1 replicas (default 2, effectively capped at
+	// the current member count).
 	Replicas int
 	// VNodes is the per-member virtual-node count (default
 	// DefaultVNodes).
@@ -56,51 +62,48 @@ type Config struct {
 	DownAfter int
 }
 
-// Cluster is one node's view of the sharded tier: the ring, the member
-// table, the health checker, and the forwarding client. Safe for
-// concurrent use.
+// Cluster is one node's view of the sharded tier: the epoch-versioned
+// membership view, the ring built from it, the health checker, and the
+// forwarding client. Safe for concurrent use; the view (and with it
+// the ring and member table) is swapped atomically on adoption.
 type Cluster struct {
-	self    string
-	rf      int
-	members map[string]Member
-	order   []string
-	ring    *Ring
-	checker *Checker
-	client  Doer
+	self     string
+	rfTarget int
+	vnodes   int
+	client   Doer
+	checker  *Checker
+
+	vmu          sync.RWMutex
+	view         View
+	viewFp       uint64
+	members      map[string]Member
+	ring         *Ring
+	departed     map[string]Member // ex-members of superseded views, until they rejoin
+	onViewChange func(View)
+
+	syncing atomic.Bool
 
 	mu     sync.Mutex
 	cancel context.CancelFunc
 }
 
-// New validates the membership and builds the node's cluster view.
+// New validates the boot membership and builds the node's cluster view
+// at epoch 0.
 func New(cfg Config) (*Cluster, error) {
-	if len(cfg.Members) == 0 {
-		return nil, fmt.Errorf("cluster: no members")
+	boot := View{Epoch: 0, Members: cfg.Members}
+	if err := boot.Validate(); err != nil {
+		return nil, err
 	}
-	members := map[string]Member{}
-	ids := make([]string, 0, len(cfg.Members))
-	for _, m := range cfg.Members {
-		if m.ID == "" {
-			return nil, fmt.Errorf("cluster: member with empty id")
-		}
-		if _, dup := members[m.ID]; dup {
-			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
-		}
-		if m.Addr == "" {
-			return nil, fmt.Errorf("cluster: member %q has no address", m.ID)
-		}
-		members[m.ID] = m
-		ids = append(ids, m.ID)
-	}
-	if _, ok := members[cfg.Self]; !ok {
+	if !boot.member(cfg.Self) {
 		return nil, fmt.Errorf("cluster: self %q not in member list", cfg.Self)
 	}
 	rf := cfg.Replicas
 	if rf < 1 {
 		rf = 2
 	}
-	if rf > len(ids) {
-		rf = len(ids)
+	ids := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		ids = append(ids, m.ID)
 	}
 	ring, err := NewRing(ids, cfg.VNodes)
 	if err != nil {
@@ -114,38 +117,122 @@ func New(cfg Config) (*Cluster, error) {
 	if downAfter < 1 {
 		downAfter = 3
 	}
-	sort.Strings(ids)
-	return &Cluster{
-		self:    cfg.Self,
-		rf:      rf,
-		members: members,
-		order:   ids,
-		ring:    ring,
-		checker: NewChecker(cfg.Self, cfg.Members, client, cfg.ProbeTimeout, downAfter),
-		client:  client,
-	}, nil
+	c := &Cluster{
+		self:     cfg.Self,
+		rfTarget: rf,
+		vnodes:   ring.VNodes(),
+		client:   client,
+		checker:  NewChecker(cfg.Self, cfg.Members, client, cfg.ProbeTimeout, downAfter),
+	}
+	c.view = boot.Clone()
+	c.viewFp = c.view.Fingerprint()
+	c.members = map[string]Member{}
+	for _, m := range c.view.Members {
+		c.members[m.ID] = m
+	}
+	c.ring = ring
+	c.departed = map[string]Member{}
+	// Probe replies carry the peer's view epoch and membership
+	// fingerprint; a peer ahead of us — or diverged at our own epoch —
+	// is the anti-entropy signal to reconcile views.
+	c.checker.SetOnPeerEpoch(c.observePeerEpoch)
+	return c, nil
 }
 
 // Self returns this node's id.
 func (c *Cluster) Self() string { return c.self }
 
-// ReplicationFactor returns R (owner + R−1 replicas per fingerprint).
-func (c *Cluster) ReplicationFactor() int { return c.rf }
-
-// Ring exposes the consistent-hash ring (for topology reporting).
-func (c *Cluster) Ring() *Ring { return c.ring }
-
-// Members returns the membership sorted by id.
-func (c *Cluster) Members() []Member {
-	out := make([]Member, 0, len(c.order))
-	for _, id := range c.order {
-		out = append(out, c.members[id])
+// ReplicationFactor returns the effective R under the current view:
+// the configured target, capped at the member count.
+func (c *Cluster) ReplicationFactor() int {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	if c.rfTarget > len(c.members) {
+		return len(c.members)
 	}
+	return c.rfTarget
+}
+
+// Ring exposes the current consistent-hash ring (for topology
+// reporting). The returned ring is immutable; a membership change
+// installs a fresh one.
+func (c *Cluster) Ring() *Ring {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return c.ring
+}
+
+// CurrentView returns a copy of the membership view this node has
+// adopted.
+func (c *Cluster) CurrentView() View {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return c.view.Clone()
+}
+
+// Epoch returns the adopted view's epoch.
+func (c *Cluster) Epoch() int64 {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return c.view.Epoch
+}
+
+// ViewFingerprint returns the adopted view's membership fingerprint —
+// piggybacked on /healthz replies so peers can detect equal-epoch view
+// divergence, not just being behind.
+func (c *Cluster) ViewFingerprint() uint64 {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return c.viewFp
+}
+
+// ViewID returns the adopted view's (epoch, fingerprint) pair in one
+// consistent read — the identity repair bookkeeping must key on:
+// equal-epoch divergence means two different rings can share an epoch
+// number, so epoch alone under-identifies the ring.
+func (c *Cluster) ViewID() (epoch int64, fp uint64) {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return c.view.Epoch, c.viewFp
+}
+
+// DepartedMembers lists ex-members of superseded views (drained or
+// replaced nodes that have not rejoined). The repair and record-fetch
+// paths still consult them during a membership transition: a key whose
+// previous replicas all left the ring is otherwise unreachable until
+// their handoff completes.
+func (c *Cluster) DepartedMembers() []Member {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	out := make([]Member, 0, len(c.departed))
+	for _, m := range c.departed {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Member looks up one member by id.
+// InRing reports whether this node is a member of its own adopted view
+// — false after the node has been drained (it keeps serving, but only
+// by forwarding into the ring it left).
+func (c *Cluster) InRing() bool {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	_, ok := c.members[c.self]
+	return ok
+}
+
+// Members returns the current membership sorted by id.
+func (c *Cluster) Members() []Member {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return append([]Member(nil), c.view.Members...)
+}
+
+// Member looks up one current member by id.
 func (c *Cluster) Member(id string) (Member, bool) {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
 	m, ok := c.members[id]
 	return m, ok
 }
@@ -157,13 +244,232 @@ func (c *Cluster) Health(id string) Health { return c.checker.Status(id) }
 // transports, deterministic probing in tests).
 func (c *Cluster) Checker() *Checker { return c.checker }
 
-// Owner returns the ring owner of a key, health ignored.
-func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+// SetOnViewChange installs a hook fired (outside all cluster locks)
+// after every adopted membership change — the serving layer hangs its
+// rebalancer kick here. Install before Start; one hook at a time.
+func (c *Cluster) SetOnViewChange(fn func(View)) {
+	c.vmu.Lock()
+	c.onViewChange = fn
+	c.vmu.Unlock()
+}
 
-// Replicas returns the key's full replica set (owner first), health
-// ignored — the set a completed plan is replicated to.
+// adoptLocked installs a validated view: ring, member table, departed
+// set, and the checker's peer set. Caller holds vmu.
+func (c *Cluster) adoptLocked(v View) error {
+	v = v.Clone()
+	ids := make([]string, 0, len(v.Members))
+	members := make(map[string]Member, len(v.Members))
+	for _, m := range v.Members {
+		ids = append(ids, m.ID)
+		members[m.ID] = m
+	}
+	ring, err := NewRing(ids, c.vnodes)
+	if err != nil {
+		return err
+	}
+	// Members leaving this view join the departed set; rejoining ones
+	// leave it. The set only ever holds real ex-members, so it stays
+	// small (drains are rare events).
+	for id, m := range c.members {
+		if _, keep := members[id]; !keep {
+			c.departed[id] = m
+		}
+	}
+	for id := range c.departed {
+		if _, back := members[id]; back {
+			delete(c.departed, id)
+		}
+	}
+	c.view = v
+	c.viewFp = v.Fingerprint()
+	c.members = members
+	c.ring = ring
+	c.checker.SetPeers(v.Members)
+	return nil
+}
+
+// fireViewChange invokes the view-change hook outside the view lock.
+func (c *Cluster) fireViewChange(v View) {
+	c.vmu.RLock()
+	fn := c.onViewChange
+	c.vmu.RUnlock()
+	if fn != nil {
+		fn(v)
+	}
+}
+
+// AdoptView installs a peer-announced view when it supersedes the
+// current one (higher epoch; at equal epochs the greater membership
+// fingerprint wins, so conflicting announcements converge fleet-wide).
+// Returns whether the view was adopted. Adopting a view that excludes
+// self is legal: that is how a node learns it has been drained.
+func (c *Cluster) AdoptView(v View) (bool, error) {
+	if err := v.Validate(); err != nil {
+		return false, err
+	}
+	c.vmu.Lock()
+	if !v.supersedes(c.view) {
+		c.vmu.Unlock()
+		return false, nil
+	}
+	if err := c.adoptLocked(v); err != nil {
+		c.vmu.Unlock()
+		return false, err
+	}
+	adopted := c.view
+	c.vmu.Unlock()
+	c.fireViewChange(adopted)
+	return true, nil
+}
+
+// ProposeJoin mints and locally adopts the view that adds a member at
+// Epoch+1, returning it for broadcast. Re-joining with an identical
+// (id, addr) is idempotent — the current view is returned unchanged
+// (changed=false) so a restarted node can re-announce safely; the same
+// id at a different address is refused.
+func (c *Cluster) ProposeJoin(m Member) (View, bool, error) {
+	if m.ID == "" || m.Addr == "" {
+		return View{}, false, fmt.Errorf("cluster: join needs both an id and an address")
+	}
+	c.vmu.Lock()
+	if ex, ok := c.members[m.ID]; ok {
+		v := c.view.Clone()
+		c.vmu.Unlock()
+		if ex.Addr == m.Addr {
+			return v, false, nil
+		}
+		return View{}, false, fmt.Errorf("cluster: member %q already present at %s (join asked for %s)",
+			m.ID, ex.Addr, m.Addr)
+	}
+	nv := View{
+		Epoch:   c.view.Epoch + 1,
+		Members: append(append([]Member(nil), c.view.Members...), m),
+	}.Clone()
+	if err := c.adoptLocked(nv); err != nil {
+		c.vmu.Unlock()
+		return View{}, false, err
+	}
+	adopted := c.view
+	c.vmu.Unlock()
+	c.fireViewChange(adopted)
+	return adopted.Clone(), true, nil
+}
+
+// ProposeDrain mints and locally adopts the view that removes a member
+// at Epoch+1, returning it for broadcast (which must include the
+// drained node, so it learns to hand off and forward). Draining the
+// last member is refused; draining an unknown member is an error.
+func (c *Cluster) ProposeDrain(id string) (View, bool, error) {
+	c.vmu.Lock()
+	if _, ok := c.members[id]; !ok {
+		c.vmu.Unlock()
+		return View{}, false, fmt.Errorf("cluster: cannot drain unknown member %q", id)
+	}
+	if len(c.members) == 1 {
+		c.vmu.Unlock()
+		return View{}, false, fmt.Errorf("cluster: refusing to drain the last member %q", id)
+	}
+	nv := View{Epoch: c.view.Epoch + 1}
+	for _, m := range c.view.Members {
+		if m.ID != id {
+			nv.Members = append(nv.Members, m)
+		}
+	}
+	if err := c.adoptLocked(nv); err != nil {
+		c.vmu.Unlock()
+		return View{}, false, err
+	}
+	adopted := c.view
+	c.vmu.Unlock()
+	c.fireViewChange(adopted)
+	return adopted.Clone(), true, nil
+}
+
+// observePeerEpoch is the checker's probe callback: a peer announcing
+// a higher epoch means we missed a membership change; a peer at OUR
+// epoch with a different membership fingerprint means the fleet split
+// on concurrent changes. Either way one background sync reconciles: we
+// pull the peer's view, adopt it if it supersedes ours, and push ours
+// back if it does not (the tie-break is total, so one side always
+// yields and convergence spreads peer by peer over the probe cadence).
+// At most one sync runs at a time; probes retry naturally.
+func (c *Cluster) observePeerEpoch(id string, epoch int64, fp uint64) {
+	cur, curFp := c.ViewID()
+	if epoch < cur || (epoch == cur && (fp == 0 || fp == curFp)) {
+		return
+	}
+	if !c.syncing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer c.syncing.Store(false)
+		c.syncViewWith(id)
+	}()
+}
+
+// syncViewWith reconciles views with one peer: fetch, adopt if theirs
+// supersedes, push ours back when it stands — the repair half of
+// probe-driven view anti-entropy.
+func (c *Cluster) syncViewWith(id string) {
+	m, ok := c.Member(id)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Addr+"/cluster/view", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.checker.ReportFailure(id)
+		return
+	}
+	var v View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		return
+	}
+	adopted, err := c.AdoptView(v)
+	if err != nil || adopted {
+		return
+	}
+	// Their view did not supersede ours — by the total order, ours
+	// supersedes theirs (or they are equal, in which case the push is a
+	// harmless no-op on their side). Announce ours so the losing side
+	// converges even when nobody probes US (e.g. a winning joiner the
+	// rest of the fleet dropped from its probe set).
+	ours := c.CurrentView()
+	body, err := json.Marshal(ours)
+	if err != nil {
+		return
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.Addr+"/cluster/view", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	if presp, err := c.client.Do(preq); err == nil {
+		presp.Body.Close()
+	}
+}
+
+// Owner returns the ring owner of a key, health ignored.
+func (c *Cluster) Owner(key string) string { return c.Ring().Owner(key) }
+
+// Replicas returns the key's full replica set under the current view
+// (owner first), health ignored — the set a completed plan is
+// replicated to and the rebalancer repairs toward.
 func (c *Cluster) Replicas(key string) []Member {
-	ids := c.ring.Replicas(key, c.rf)
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	rf := c.rfTarget
+	if rf > len(c.members) {
+		rf = len(c.members)
+	}
+	ids := c.ring.Replicas(key, rf)
 	out := make([]Member, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, c.members[id])
@@ -188,17 +494,18 @@ func (c *Cluster) ReplicaTargets(key string) []Member {
 // walks the list — a candidate equal to self means "serve locally";
 // otherwise it forwards, advancing on failure. An empty list (every
 // replica down, self not among them) means serve locally as a last
-// resort: availability over strict single-flight.
+// resort: availability over strict single-flight. On a drained node
+// self never appears, so everything forwards into the ring it left.
 func (c *Cluster) Route(key string) []Member {
-	reps := c.ring.Replicas(key, c.rf)
+	reps := c.Replicas(key)
 	ok := make([]Member, 0, len(reps))
 	var suspect []Member
-	for _, id := range reps {
-		switch c.checker.Status(id) {
+	for _, m := range reps {
+		switch c.checker.Status(m.ID) {
 		case Ok:
-			ok = append(ok, c.members[id])
+			ok = append(ok, m)
 		case Suspect:
-			suspect = append(suspect, c.members[id])
+			suspect = append(suspect, m)
 		}
 	}
 	return append(ok, suspect...)
@@ -262,8 +569,11 @@ func (c *Cluster) Stop() {
 
 // ParsePeers parses the -peers wire format: comma-separated id=addr
 // pairs, e.g. "n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080".
+// Duplicate ids are refused here (not just at cluster construction) so
+// a mistyped flag fails with the offending pair named.
 func ParsePeers(s string) ([]Member, error) {
 	var out []Member
+	seen := map[string]bool{}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -274,10 +584,15 @@ func ParsePeers(s string) ([]Member, error) {
 		if !ok || id == "" || addr == "" {
 			return nil, fmt.Errorf("cluster: bad peer %q (want id=addr)", part)
 		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
 		out = append(out, Member{ID: id, Addr: strings.TrimRight(addr, "/")})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cluster: empty peer list")
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
 }

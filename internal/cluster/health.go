@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -45,15 +48,20 @@ type Doer interface {
 // (ProbeOnce, typically on a timer) and passive reports from the
 // forwarding path (ReportFailure/ReportSuccess), so a dead peer is
 // noticed at the first failed forward, not only at the next probe tick.
+// Probe replies that carry a view epoch are surfaced through the
+// OnPeerEpoch hook — the signal the elastic membership layer uses to
+// notice it fell behind a join or drain.
 type Checker struct {
 	self      string
 	client    Doer
 	timeout   time.Duration
 	downAfter int
 
-	mu    sync.Mutex
-	fails map[string]int // consecutive failures by peer id
-	addrs map[string]string
+	mu      sync.Mutex
+	fails   map[string]int // consecutive failures by peer id
+	addrs   map[string]string
+	epochs  map[string]int64 // last view epoch seen in a probe reply
+	onEpoch func(id string, epoch int64, fp uint64)
 }
 
 // NewChecker builds a checker over the peer set (self is always Ok and
@@ -73,6 +81,7 @@ func NewChecker(self string, members []Member, client Doer, timeout time.Duratio
 		downAfter: downAfter,
 		fails:     map[string]int{},
 		addrs:     map[string]string{},
+		epochs:    map[string]int64{},
 	}
 	for _, m := range members {
 		if m.ID != self {
@@ -80,6 +89,47 @@ func NewChecker(self string, members []Member, client Doer, timeout time.Duratio
 		}
 	}
 	return c
+}
+
+// SetPeers replaces the probed peer set (self excluded automatically)
+// after a membership change. Health state carries over for retained
+// peers — a Down node that stays in the ring stays Down — and is
+// dropped for removed ones, so a drained-then-rejoining node starts
+// fresh.
+func (c *Checker) SetPeers(members []Member) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := make(map[string]string, len(members))
+	for _, m := range members {
+		if m.ID != c.self {
+			next[m.ID] = m.Addr
+		}
+	}
+	for id := range c.fails {
+		if _, keep := next[id]; !keep {
+			delete(c.fails, id)
+			delete(c.epochs, id)
+		}
+	}
+	c.addrs = next
+}
+
+// SetOnPeerEpoch installs the hook invoked (from probe goroutines)
+// whenever a probe reply carries a view epoch; fp is the peer's
+// membership fingerprint (0 for peers that predate fingerprint
+// piggybacking). One hook at a time; install before the prober starts.
+func (c *Checker) SetOnPeerEpoch(fn func(id string, epoch int64, fp uint64)) {
+	c.mu.Lock()
+	c.onEpoch = fn
+	c.mu.Unlock()
+}
+
+// PeerEpoch reports the last view epoch a peer announced in a probe
+// reply (0 when never seen or not an epoch-aware peer).
+func (c *Checker) PeerEpoch(id string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[id]
 }
 
 // Status reports a peer's current health (self and unknown ids are Ok).
@@ -123,6 +173,15 @@ func (c *Checker) ReportFailure(id string) {
 	c.mu.Unlock()
 }
 
+// recordEpoch stores a probed peer's announced epoch and returns the
+// hook to invoke (outside the checker lock).
+func (c *Checker) recordEpoch(id string, epoch int64) func(string, int64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochs[id] = epoch
+	return c.onEpoch
+}
+
 // ProbeOnce probes every peer's /healthz concurrently and records the
 // outcomes. One round is bounded by the checker's probe timeout.
 func (c *Checker) ProbeOnce(ctx context.Context) {
@@ -150,12 +209,29 @@ func (c *Checker) ProbeOnce(ctx context.Context) {
 				c.ReportFailure(p.ID)
 				return
 			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			if resp.StatusCode >= http.StatusInternalServerError {
 				c.ReportFailure(p.ID)
 				return
 			}
 			c.ReportSuccess(p.ID)
+			// Epoch piggyback: a clustered peer's /healthz reply names its
+			// view epoch and membership fingerprint; surfacing them here
+			// is what lets a node notice — on the existing probe cadence,
+			// no extra round-trips — that a join or drain happened while
+			// it was partitioned or booting, or that the fleet split on
+			// concurrent changes at its own epoch.
+			var hb struct {
+				Epoch  int64  `json:"epoch"`
+				ViewFp string `json:"viewFp"`
+			}
+			if json.Unmarshal(body, &hb) == nil && (hb.Epoch > 0 || hb.ViewFp != "") {
+				fp, _ := strconv.ParseUint(hb.ViewFp, 16, 64)
+				if fn := c.recordEpoch(p.ID, hb.Epoch); fn != nil {
+					fn(p.ID, hb.Epoch, fp)
+				}
+			}
 		}(p)
 	}
 	wg.Wait()

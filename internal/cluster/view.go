@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// View is one immutable generation of the cluster membership: a
+// monotonically increasing epoch plus the member set at that epoch.
+// Membership changes (join, drain) mint a new view with Epoch+1; peers
+// adopt whichever view supersedes their own, so the fleet converges on
+// one ring without a coordination service. Members are kept sorted by
+// id so a view has exactly one wire form.
+type View struct {
+	Epoch   int64    `json:"epoch"`
+	Members []Member `json:"members"`
+}
+
+// Validate checks the structural invariants every adoptable view must
+// satisfy: at least one member, no empty or duplicate ids, no missing
+// addresses. Note that a view need NOT contain the adopting node — a
+// drained node legitimately adopts the view that excludes it (it keeps
+// serving by forwarding into the ring it left).
+func (v View) Validate() error {
+	if len(v.Members) == 0 {
+		return fmt.Errorf("cluster: view %d has no members", v.Epoch)
+	}
+	if v.Epoch < 0 {
+		return fmt.Errorf("cluster: negative view epoch %d", v.Epoch)
+	}
+	seen := map[string]bool{}
+	for _, m := range v.Members {
+		if m.ID == "" {
+			return fmt.Errorf("cluster: view %d has a member with an empty id", v.Epoch)
+		}
+		if m.Addr == "" {
+			return fmt.Errorf("cluster: view %d member %q has no address", v.Epoch, m.ID)
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("cluster: view %d has duplicate member id %q", v.Epoch, m.ID)
+		}
+		seen[m.ID] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy with members sorted by id (the canonical
+// order every comparison and wire encoding uses).
+func (v View) Clone() View {
+	out := View{Epoch: v.Epoch, Members: append([]Member(nil), v.Members...)}
+	sort.Slice(out.Members, func(i, j int) bool { return out.Members[i].ID < out.Members[j].ID })
+	return out
+}
+
+// Fingerprint hashes the canonical member list (epoch excluded). Two
+// views with the same epoch but different memberships — e.g. two nodes
+// that each accepted a different change concurrently — are ordered by
+// fingerprint, so every node picks the same winner and the fleet
+// converges instead of flapping.
+func (v View) Fingerprint() uint64 {
+	c := v.Clone()
+	var sb strings.Builder
+	for _, m := range c.Members {
+		sb.WriteString(m.ID)
+		sb.WriteByte('=')
+		sb.WriteString(m.Addr)
+		sb.WriteByte('\n')
+	}
+	return hash64(sb.String())
+}
+
+// supersedes reports whether v should replace cur: a higher epoch
+// always wins; at equal epochs the greater membership fingerprint wins
+// (an arbitrary but total tie-break — symmetric, so two disagreeing
+// nodes converge on the same view). A view never supersedes itself.
+func (v View) supersedes(cur View) bool {
+	if v.Epoch != cur.Epoch {
+		return v.Epoch > cur.Epoch
+	}
+	return v.Fingerprint() > cur.Fingerprint()
+}
+
+// member reports whether id is in the view.
+func (v View) member(id string) bool {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinRequest is the POST /cluster/join body: the joining node's
+// identity and the address peers reach it at.
+type JoinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// DrainRequest is the POST /cluster/drain body: the member to remove
+// from the ring. The drained node keeps serving (forwarding into the
+// ring) and hands its records off via the rebalancer; it is the
+// graceful counterpart of a kill.
+type DrainRequest struct {
+	ID string `json:"id"`
+}
+
+// JoinVia announces self to a live cluster through one seed peer: it
+// POSTs /cluster/join and returns the new view (which includes self).
+// The caller adopts the returned view; the seed broadcasts it to the
+// rest of the membership. mistserve -join boots through this.
+func JoinVia(ctx context.Context, client Doer, peerAddr string, self Member) (View, error) {
+	if self.ID == "" || self.Addr == "" {
+		return View{}, fmt.Errorf("cluster: join needs both an id and an advertise address")
+	}
+	body, err := json.Marshal(JoinRequest{ID: self.ID, Addr: self.Addr})
+	if err != nil {
+		return View{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(peerAddr, "/")+"/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return View{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return View{}, fmt.Errorf("cluster: join via %s: %w", peerAddr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return View{}, fmt.Errorf("cluster: join via %s refused: %d %s",
+			peerAddr, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return View{}, fmt.Errorf("cluster: decoding join reply: %w", err)
+	}
+	if err := v.Validate(); err != nil {
+		return View{}, err
+	}
+	if !v.member(self.ID) {
+		return View{}, fmt.Errorf("cluster: join reply view %d does not include %s", v.Epoch, self.ID)
+	}
+	return v, nil
+}

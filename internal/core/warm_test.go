@@ -42,13 +42,13 @@ func tuneWarm(t *testing.T, w plan.Workload, gpus int, space Space, warm *plan.P
 func TestWarmStartNeverRegresses(t *testing.T) {
 	space := DeepSpeedSpace() // compact grid keeps the catalog affordable
 	cases := []struct {
-		model                  string
-		gpus, batch            int
+		model                       string
+		gpus, batch                 int
 		neighborGPUs, neighborBatch int
 	}{
-		{"gpt3-1.3b", 2, 8, 2, 16},  // neighbor at double batch
-		{"gpt3-1.3b", 2, 16, 2, 8},  // neighbor at half batch
-		{"gpt3-1.3b", 4, 8, 2, 8},   // neighbor at half the GPUs
+		{"gpt3-1.3b", 2, 8, 2, 16}, // neighbor at double batch
+		{"gpt3-1.3b", 2, 16, 2, 8}, // neighbor at half batch
+		{"gpt3-1.3b", 4, 8, 2, 8},  // neighbor at half the GPUs
 		{"falcon-1.3b", 2, 8, 2, 16},
 		{"gpt3-2.7b", 4, 8, 4, 16},
 	}

@@ -28,7 +28,22 @@ func NewMultiTarget(targets ...Target) (*MultiTarget, error) {
 }
 
 // Len reports the member count (failed included).
-func (m *MultiTarget) Len() int { return len(m.targets) }
+func (m *MultiTarget) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.targets)
+}
+
+// Add admits a new node to the rotation mid-run — the harness's
+// stand-in for a load balancer discovering a freshly joined backend.
+// Returns the node's index (usable with Fail/Restore).
+func (m *MultiTarget) Add(t Target) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.targets = append(m.targets, t)
+	m.down = append(m.down, false)
+	return len(m.targets) - 1
+}
 
 // Fail removes node i from the rotation.
 func (m *MultiTarget) Fail(i int) {

@@ -57,7 +57,7 @@ type EndpointReport struct {
 }
 
 // Report is the machine-readable result of a load run, suitable for
-// BENCH_*.json trajectory tracking.
+// BENCH.json trajectory tracking.
 type Report struct {
 	Scenario        string                     `json:"scenario"`
 	Seed            int64                      `json:"seed"`

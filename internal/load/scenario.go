@@ -195,6 +195,22 @@ var scenarios = []scenarioDef{
 		},
 	},
 	{
+		name: "elastic",
+		desc: "fixed fingerprint pool, tune-heavy: replay across join/drain membership changes — repair must keep every key at R live replicas with zero 5xx and no re-search",
+		next: func(rng *rand.Rand, i int) Op {
+			// Same shape as failover (and the same reason there are no
+			// job ops: job records are node-local, so a drained or
+			// killed holder would turn their lookups into expected
+			// noise). The pool is tuned early; the rest of the run
+			// exercises routing and repair across the membership
+			// changes.
+			if rng.Intn(100) < 88 {
+				return Op{Kind: OpTune, Body: mustBody(shardPool[rng.Intn(len(shardPool))])}
+			}
+			return Op{Kind: OpStats}
+		},
+	},
+	{
 		name: "mixed",
 		desc: "production-shaped mix: warm+cold tunes, simulation, job churn, stats polling",
 		next: func(rng *rand.Rand, i int) Op {

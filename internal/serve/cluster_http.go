@@ -210,6 +210,11 @@ func (s *Server) replicateRecord(rec store.Record) {
 		return
 	}
 	key := rec.Fingerprint.Key()
+	// Ring identity captured BEFORE resolving targets: if a membership
+	// change lands mid-round, the mark below records the OLD ring
+	// (whose replica set we actually wrote to), so the repairer still
+	// re-checks the record under the new one instead of skipping it.
+	ring := s.currentRing()
 	targets := s.cluster.ReplicaTargets(key)
 	if len(targets) == 0 {
 		return
@@ -225,15 +230,18 @@ func (s *Server) replicateRecord(rec store.Record) {
 	// bounded amount, not a request-timeout violation per peer.
 	ctx, cancel := context.WithTimeout(context.Background(), replicationBudget)
 	defer cancel()
+	allOK := true
 	for _, m := range targets {
 		outcome := "ok"
 		switch {
 		case s.cluster.Health(m.ID) == cluster.Down:
 			outcome = "skipped-down"
+			allOK = false
 		default:
 			resp, err := s.cluster.Forward(ctx, m, http.MethodPost, "/cluster/replicate", "", "application/json", body)
 			if err != nil {
 				outcome = "error"
+				allOK = false
 				s.replicationErrors.Add(1)
 				s.logf("replicate %s v%d to %s failed: %v", key, rec.Version, m.ID, err)
 				break
@@ -242,6 +250,7 @@ func (s *Server) replicateRecord(rec store.Record) {
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				outcome = "rejected"
+				allOK = false
 				s.replicationErrors.Add(1)
 				s.logf("replicate %s v%d to %s rejected: %d", key, rec.Version, m.ID, resp.StatusCode)
 			} else {
@@ -251,6 +260,11 @@ func (s *Server) replicateRecord(rec store.Record) {
 		s.metrics.Counter(metricReplicationsTotal, metrics.Labels{
 			"peer": m.ID, "outcome": outcome,
 		}).Inc()
+	}
+	if allOK {
+		// Every replica confirmed the write, so the background repairer
+		// can skip this record until the ring changes again.
+		s.markRepaired(key, ring)
 	}
 }
 
@@ -292,17 +306,31 @@ type ClusterMemberInfo struct {
 // ClusterInfo is the GET /cluster reply: this node's view of the
 // topology.
 type ClusterInfo struct {
-	Enabled  bool                `json:"enabled"`
-	Self     string              `json:"self,omitempty"`
-	Replicas int                 `json:"replicas,omitempty"`
-	VNodes   int                 `json:"vnodes,omitempty"`
-	Members  []ClusterMemberInfo `json:"members,omitempty"`
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	// Epoch is the adopted membership view's generation; it advances by
+	// one on every join or drain.
+	Epoch    int64 `json:"epoch"`
+	Replicas int   `json:"replicas,omitempty"`
+	VNodes   int   `json:"vnodes,omitempty"`
+	// Drained marks a node that adopted a view excluding itself: it
+	// keeps serving, but only by forwarding into the ring it left.
+	Drained bool                `json:"drained,omitempty"`
+	Members []ClusterMemberInfo `json:"members,omitempty"`
 
 	Forwards          uint64 `json:"forwards"`
 	ForwardErrors     uint64 `json:"forwardErrors"`
 	Replications      uint64 `json:"replications"`
 	ReplicationErrors uint64 `json:"replicationErrors"`
 	LocalFallbacks    uint64 `json:"localFallbacks"`
+
+	// Anti-entropy repair traffic (see Stats for field semantics).
+	RebalancePushed  uint64 `json:"rebalancePushed"`
+	RebalancePulled  uint64 `json:"rebalancePulled"`
+	RebalanceDropped uint64 `json:"rebalanceDropped"`
+	RebalanceErrors  uint64 `json:"rebalanceErrors"`
+	RecordFetches    uint64 `json:"recordFetches"`
+	RecordFetchHits  uint64 `json:"recordFetchHits"`
 }
 
 func (s *Server) handleClusterInfo(rw http.ResponseWriter, req *http.Request) {
@@ -314,13 +342,21 @@ func (s *Server) handleClusterInfo(rw http.ResponseWriter, req *http.Request) {
 	info := ClusterInfo{
 		Enabled:           true,
 		Self:              s.cluster.Self(),
+		Epoch:             s.cluster.Epoch(),
 		Replicas:          s.cluster.ReplicationFactor(),
 		VNodes:            s.cluster.Ring().VNodes(),
+		Drained:           !s.cluster.InRing(),
 		Forwards:          s.forwards.Load(),
 		ForwardErrors:     s.forwardErrors.Load(),
 		Replications:      s.replications.Load(),
 		ReplicationErrors: s.replicationErrors.Load(),
 		LocalFallbacks:    s.localFallbacks.Load(),
+		RebalancePushed:   s.rebalancePushed.Load(),
+		RebalancePulled:   s.rebalancePulled.Load(),
+		RebalanceDropped:  s.rebalanceDropped.Load(),
+		RebalanceErrors:   s.rebalanceErrors.Load(),
+		RecordFetches:     s.recordFetches.Load(),
+		RecordFetchHits:   s.recordFetchHits.Load(),
 	}
 	for _, m := range s.cluster.Members() {
 		info.Members = append(info.Members, ClusterMemberInfo{

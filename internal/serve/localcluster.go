@@ -1,9 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,15 +17,19 @@ import (
 )
 
 // LocalCluster wires n Servers into an in-process ring over a
-// switchboard transport: peer forwards, health probes, and replication
-// all route to sibling handlers with zero network variance. It backs
-// the cluster tests, `mistload -nodes`, and the CI cluster-smoke job.
-// Node ids are "n1".."nN" with synthetic addresses "http://n<i>".
+// switchboard transport: peer forwards, health probes, replication,
+// view broadcasts, and anti-entropy repair all route to sibling
+// handlers with zero network variance. It backs the cluster tests,
+// `mistload -nodes`, and the CI cluster-smoke/elastic-smoke jobs.
+// Node ids are "n1".."nN" with synthetic addresses "http://n<i>";
+// joined nodes use the caller's id the same way.
 type LocalCluster struct {
+	mu       sync.RWMutex
 	ids      []string
 	servers  map[string]*Server
 	clusters map[string]*cluster.Cluster
 	sb       *switchboard
+	opt      LocalClusterOptions
 }
 
 // LocalClusterOptions configures NewLocalCluster.
@@ -39,6 +48,10 @@ type LocalClusterOptions struct {
 	// at 0 failure detection is passive only (failed forwards), which is
 	// already enough to route around a killed node.
 	ProbeInterval time.Duration
+	// RebalanceInterval starts each node's background anti-entropy
+	// repairer when > 0; at 0 repair runs only when driven explicitly
+	// (Settle), which is what deterministic tests want.
+	RebalanceInterval time.Duration
 	// ServerOptions are applied to every node (limits, workers, ...).
 	ServerOptions []Option
 }
@@ -78,6 +91,7 @@ func NewLocalCluster(opt LocalClusterOptions) (*LocalCluster, error) {
 		servers:  map[string]*Server{},
 		clusters: map[string]*cluster.Cluster{},
 		sb:       &switchboard{handlers: map[string]http.Handler{}, dead: map[string]bool{}},
+		opt:      opt,
 	}
 	members := make([]cluster.Member, opt.Nodes)
 	for i := range members {
@@ -90,51 +104,78 @@ func NewLocalCluster(opt LocalClusterOptions) (*LocalCluster, error) {
 		if i < len(opt.StoreDirs) {
 			dir = opt.StoreDirs[i]
 		}
-		st, err := store.Open(dir) // "" degrades to in-memory
-		if err != nil {
+		if err := lc.addNode(m, members, dir); err != nil {
 			return nil, err
-		}
-		cl, err := cluster.New(cluster.Config{
-			Self:         m.ID,
-			Members:      members,
-			Replicas:     opt.Replicas,
-			VNodes:       opt.VNodes,
-			Client:       lc.sb,
-			ProbeTimeout: 500 * time.Millisecond,
-			DownAfter:    2,
-		})
-		if err != nil {
-			return nil, err
-		}
-		srv := New(append(append([]Option{}, opt.ServerOptions...),
-			WithStore(st), WithCluster(cl))...)
-		lc.servers[m.ID] = srv
-		lc.clusters[m.ID] = cl
-		lc.sb.mu.Lock()
-		lc.sb.handlers[m.ID] = srv.Handler()
-		lc.sb.mu.Unlock()
-	}
-	if opt.ProbeInterval > 0 {
-		for _, cl := range lc.clusters {
-			cl.Start(opt.ProbeInterval)
 		}
 	}
 	return lc, nil
 }
 
-// IDs returns the node ids in ring-membership order (n1..nN).
-func (lc *LocalCluster) IDs() []string { return append([]string(nil), lc.ids...) }
+// addNode builds one server + cluster view and registers it on the
+// switchboard, starting its prober and rebalancer per the options.
+func (lc *LocalCluster) addNode(m cluster.Member, members []cluster.Member, storeDir string) error {
+	st, err := store.Open(storeDir) // "" degrades to in-memory
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:         m.ID,
+		Members:      members,
+		Replicas:     lc.opt.Replicas,
+		VNodes:       lc.opt.VNodes,
+		Client:       lc.sb,
+		ProbeTimeout: 500 * time.Millisecond,
+		DownAfter:    2,
+	})
+	if err != nil {
+		return err
+	}
+	srv := New(append(append([]Option{}, lc.opt.ServerOptions...),
+		WithStore(st), WithCluster(cl))...)
+	lc.mu.Lock()
+	lc.servers[m.ID] = srv
+	lc.clusters[m.ID] = cl
+	lc.mu.Unlock()
+	lc.sb.mu.Lock()
+	lc.sb.handlers[m.ID] = srv.Handler()
+	lc.sb.mu.Unlock()
+	if lc.opt.ProbeInterval > 0 {
+		cl.Start(lc.opt.ProbeInterval)
+	}
+	if lc.opt.RebalanceInterval > 0 {
+		srv.StartRebalancer(lc.opt.RebalanceInterval)
+	}
+	return nil
+}
+
+// IDs returns the node ids in creation order (boot members first, then
+// joins).
+func (lc *LocalCluster) IDs() []string {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	return append([]string(nil), lc.ids...)
+}
 
 // Node returns one node's server (nil for unknown ids).
-func (lc *LocalCluster) Node(id string) *Server { return lc.servers[id] }
+func (lc *LocalCluster) Node(id string) *Server {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	return lc.servers[id]
+}
 
 // Cluster returns one node's cluster view (nil for unknown ids).
-func (lc *LocalCluster) Cluster(id string) *cluster.Cluster { return lc.clusters[id] }
+func (lc *LocalCluster) Cluster(id string) *cluster.Cluster {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	return lc.clusters[id]
+}
 
 // Handler returns one node's HTTP handler (nil for unknown ids) — the
 // ingress surface a load generator targets.
 func (lc *LocalCluster) Handler(id string) http.Handler {
+	lc.mu.RLock()
 	s, ok := lc.servers[id]
+	lc.mu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -146,20 +187,282 @@ func (lc *LocalCluster) Handler(id string) http.Handler {
 // and running jobs. Its stores and counters stay readable through the
 // *Server handle for post-mortem assertions.
 func (lc *LocalCluster) Kill(id string) error {
+	lc.mu.RLock()
 	s, ok := lc.servers[id]
+	cl := lc.clusters[id]
+	lc.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("localcluster: unknown node %q", id)
 	}
 	lc.sb.mu.Lock()
 	lc.sb.dead[id] = true
 	lc.sb.mu.Unlock()
-	lc.clusters[id].Stop()
+	cl.Stop()
 	s.Close()
 	return nil
 }
 
-// Close stops every node's prober and job workers.
+// dead reports whether a node was killed.
+func (lc *LocalCluster) deadNode(id string) bool {
+	lc.sb.mu.RLock()
+	defer lc.sb.mu.RUnlock()
+	return lc.sb.dead[id]
+}
+
+// Join boots a fresh node (empty store, single-member view) and admits
+// it into the live ring by POSTing /cluster/join through a live member
+// — the in-process mirror of `mistserve -join`. The new node's handler
+// is registered on the switchboard BEFORE the join is proposed, so the
+// seed's view broadcast reaches it the same way it would a listening
+// process. Returns the new node's server.
+func (lc *LocalCluster) Join(id string) (*Server, error) {
+	if id == "" {
+		return nil, fmt.Errorf("localcluster: join needs a node id")
+	}
+	lc.mu.RLock()
+	_, exists := lc.servers[id]
+	lc.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("localcluster: node %q already exists", id)
+	}
+	self := cluster.Member{ID: id, Addr: "http://" + id}
+	if err := lc.addNode(self, []cluster.Member{self}, ""); err != nil {
+		return nil, err
+	}
+	// From here on a failed join must tear the half-created node back
+	// down (prober, rebalancer, switchboard entry), or a retry with the
+	// same id would be impossible.
+	fail := func(err error) (*Server, error) {
+		lc.removeNode(id)
+		return nil, err
+	}
+	seed, err := lc.liveRingMember(id)
+	if err != nil {
+		return fail(err)
+	}
+	view, err := cluster.JoinVia(context.Background(), lc.sb, seed.Addr, self)
+	if err != nil {
+		return fail(err)
+	}
+	// The broadcast normally already delivered the view; adopting the
+	// join reply as well mirrors the live boot path, where the joiner's
+	// listener may not have been up for the broadcast.
+	lc.mu.RLock()
+	cl := lc.clusters[id]
+	srv := lc.servers[id]
+	lc.mu.RUnlock()
+	if _, err := cl.AdoptView(view); err != nil {
+		return fail(err)
+	}
+	srv.KickRebalance()
+	lc.mu.Lock()
+	lc.ids = append(lc.ids, id)
+	lc.mu.Unlock()
+	return srv, nil
+}
+
+// removeNode tears down a node created by addNode that never made it
+// into lc.ids (failed join): prober and server stopped, maps and
+// switchboard entry cleared.
+func (lc *LocalCluster) removeNode(id string) {
+	lc.mu.Lock()
+	srv := lc.servers[id]
+	cl := lc.clusters[id]
+	delete(lc.servers, id)
+	delete(lc.clusters, id)
+	lc.mu.Unlock()
+	lc.sb.mu.Lock()
+	delete(lc.sb.handlers, id)
+	delete(lc.sb.dead, id)
+	lc.sb.mu.Unlock()
+	if cl != nil {
+		cl.Stop()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Drain removes a member from the ring gracefully by POSTing
+// /cluster/drain through a live member. The drained node keeps
+// serving (forwarding into the ring) and hands its records off on the
+// next repair pass; Settle drives that deterministically.
+func (lc *LocalCluster) Drain(id string) error {
+	lc.mu.RLock()
+	_, known := lc.servers[id]
+	lc.mu.RUnlock()
+	if !known {
+		return fmt.Errorf("localcluster: unknown node %q", id)
+	}
+	seed, err := lc.liveRingMember(id)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(cluster.DrainRequest{ID: id})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, seed.Addr+"/cluster/drain", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := lc.sb.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("localcluster: drain %s refused: %d %s", id, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// liveRingMember picks a live node that is still in its own adopted
+// ring (skipping killed nodes, drained nodes, and exclude) to act on a
+// membership proposal.
+func (lc *LocalCluster) liveRingMember(exclude string) (cluster.Member, error) {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	for _, id := range lc.ids {
+		if id == exclude || lc.deadNode(id) {
+			continue
+		}
+		cl := lc.clusters[id]
+		if cl != nil && cl.InRing() {
+			m, _ := cl.Member(id)
+			return m, nil
+		}
+	}
+	return cluster.Member{}, fmt.Errorf("localcluster: no live ring member available")
+}
+
+// Settle drives anti-entropy repair deterministically: `rounds` full
+// sweeps of RebalanceOnce across every live node (drained nodes
+// included — they are the ones handing records off). Two rounds reach
+// a fixed point after any single membership change; callers use three
+// for margin after compound drills.
+func (lc *LocalCluster) Settle(ctx context.Context, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for _, id := range lc.IDs() {
+			if lc.deadNode(id) {
+				continue
+			}
+			if _, err := lc.Node(id).RebalanceOnce(ctx); err != nil {
+				return fmt.Errorf("localcluster: settle round %d on %s: %w", r, id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationAudit is the post-drill invariant check of the elastic
+// tier (see AuditReplication).
+type ReplicationAudit struct {
+	// Epoch and Members describe the converged view the audit ran
+	// against; Live are the view members that answer (not killed).
+	Epoch   int64    `json:"epoch"`
+	Members []string `json:"members"`
+	Live    []string `json:"live"`
+	// Replicas is the effective R every fingerprint must be held at.
+	Replicas int `json:"replicas"`
+	// Fingerprints is the distinct-fingerprint count across live
+	// stores; SearchesRun sums TunesRun over every server ever booted.
+	Fingerprints int    `json:"fingerprints"`
+	SearchesRun  uint64 `json:"searchesRun"`
+	// Violations lists every broken invariant (empty on a clean drill).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// AuditReplication checks the elastic invariants after a drill has
+// settled:
+//
+//  1. every fingerprint is held by exactly min(R, live members) live
+//     ring members (no under- OR over-replication);
+//  2. every stored record is Version==1 and the fleet-wide search count
+//     equals the distinct-fingerprint count — i.e. no join/drain/kill
+//     ever caused a re-search;
+//  3. live nodes outside the ring (drained) hold nothing — their
+//     handoff completed.
+//
+// The reference view comes from any live in-ring node (they have
+// converged once broadcasts and probes settle). Only the error return
+// signals an unusable audit (no live member); invariant breaches are
+// reported in Violations.
+func (lc *LocalCluster) AuditReplication() (*ReplicationAudit, error) {
+	seed, err := lc.liveRingMember("")
+	if err != nil {
+		return nil, err
+	}
+	refCl := lc.Cluster(seed.ID)
+	view := refCl.CurrentView()
+	audit := &ReplicationAudit{Epoch: view.Epoch, Replicas: refCl.ReplicationFactor()}
+
+	inView := map[string]bool{}
+	for _, m := range view.Members {
+		audit.Members = append(audit.Members, m.ID)
+		inView[m.ID] = true
+		if !lc.deadNode(m.ID) {
+			audit.Live = append(audit.Live, m.ID)
+		}
+	}
+	want := audit.Replicas
+	if want > len(audit.Live) {
+		want = len(audit.Live)
+	}
+
+	counts := map[string]int{}
+	for _, id := range audit.Live {
+		for _, rec := range lc.Node(id).Store().Records() {
+			key := rec.Fingerprint.Key()
+			counts[key]++
+			if rec.Version != 1 {
+				audit.Violations = append(audit.Violations, fmt.Sprintf(
+					"node %s holds %s at version %d (tuned more than once fleet-wide)", id, key, rec.Version))
+			}
+		}
+	}
+	audit.Fingerprints = len(counts)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts[k] != want {
+			audit.Violations = append(audit.Violations, fmt.Sprintf(
+				"fingerprint %s held by %d live replicas, want exactly %d", k, counts[k], want))
+		}
+	}
+
+	// Drained-but-alive nodes must have handed everything off; every
+	// booted server's searches count toward the single-flight total.
+	for _, id := range lc.IDs() {
+		srv := lc.Node(id)
+		audit.SearchesRun += srv.Stats().TunesRun
+		if !inView[id] && !lc.deadNode(id) {
+			if n := srv.Store().Len(); n > 0 {
+				audit.Violations = append(audit.Violations, fmt.Sprintf(
+					"drained node %s still holds %d records after settle", id, n))
+			}
+		}
+	}
+	if audit.SearchesRun != uint64(audit.Fingerprints) {
+		audit.Violations = append(audit.Violations, fmt.Sprintf(
+			"fleet ran %d searches for %d distinct fingerprints (single-flight broken)",
+			audit.SearchesRun, audit.Fingerprints))
+	}
+	return audit, nil
+}
+
+// Close stops every node's prober, rebalancer, and job workers.
 func (lc *LocalCluster) Close() {
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
 	for _, cl := range lc.clusters {
 		cl.Stop()
 	}

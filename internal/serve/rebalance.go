@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// The rebalancer is the background anti-entropy repairer of the
+// elastic cluster tier. Each pass walks the local plan store and, for
+// every record, repairs toward the CURRENT ring:
+//
+//   - a record this node still replicates is pushed (version-gated
+//     Apply, so pushes are idempotent) to any other replica in its set
+//     — restoring R after a drain of a replica holder or a permanent
+//     node loss that was declared by draining the dead member;
+//   - a record this node no longer replicates is pushed to every node
+//     in its new replica set and, only once every one of them has
+//     acknowledged it, released locally — ownership handoff with no
+//     window in which the fleet holds fewer copies than before;
+//   - after a membership change (and once at startup), the pass first
+//     PULLS every live peer's record listing and applies the subset
+//     this node now replicates, so a joining or restarted-empty node
+//     converges without waiting to be pushed to.
+//
+// Repair moves records, never searches: the fleet-wide "one search per
+// fingerprint" invariant (every record Version==1) survives every
+// join, drain, and kill transition. Steady-state passes are cheap: a
+// record confirmed on all its replicas is remembered per epoch and
+// skipped until the ring changes again.
+
+// rebalanceForwardBudget bounds one push or pull to one peer.
+const rebalanceForwardBudget = 3 * time.Second
+
+// ringID identifies one concrete ring: the view epoch plus the
+// membership fingerprint. Repair bookkeeping keys on the pair, not the
+// epoch alone — equal-epoch view divergence (the fingerprint tie-break
+// case) means two different rings can share an epoch number, and a
+// memo recorded under the losing ring must not suppress repair under
+// the winning one.
+type ringID struct {
+	epoch int64
+	fp    uint64
+}
+
+// currentRing reads the adopted view's identity in one consistent
+// snapshot.
+func (s *Server) currentRing() ringID {
+	epoch, fp := s.cluster.ViewID()
+	return ringID{epoch: epoch, fp: fp}
+}
+
+// RebalanceReport summarizes one repair pass.
+type RebalanceReport struct {
+	// Epoch is the membership epoch the pass repaired toward.
+	Epoch int64 `json:"epoch"`
+	// Scanned counts local records examined.
+	Scanned int `json:"scanned"`
+	// Pushed counts record offers accepted by a peer (HTTP 200);
+	// Applied counts the subset the peer actually installed (the rest
+	// were already present — idempotent repair).
+	Pushed  int `json:"pushed"`
+	Applied int `json:"applied"`
+	// Pulled counts records applied locally from peer listings.
+	Pulled int `json:"pulled"`
+	// Dropped counts records released locally after their new replica
+	// set confirmed them.
+	Dropped int `json:"dropped"`
+	// SkippedDown counts push targets skipped because they are Down
+	// (repair retries on a later pass); Errors counts failed transfers.
+	SkippedDown int `json:"skippedDown"`
+	Errors      int `json:"errors"`
+}
+
+func (r RebalanceReport) String() string {
+	return fmt.Sprintf("epoch %d: scanned %d, pushed %d (applied %d), pulled %d, dropped %d, skipped-down %d, errors %d",
+		r.Epoch, r.Scanned, r.Pushed, r.Applied, r.Pulled, r.Dropped, r.SkippedDown, r.Errors)
+}
+
+// markRepaired remembers that a record was confirmed on its full
+// replica set under a ring, so steady-state passes skip it.
+func (s *Server) markRepaired(key string, ring ringID) {
+	s.repairMu.Lock()
+	if s.repairedAt == nil {
+		s.repairedAt = map[string]ringID{}
+	}
+	s.repairedAt[key] = ring
+	s.repairMu.Unlock()
+}
+
+func (s *Server) repairedRing(key string) (ringID, bool) {
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+	r, ok := s.repairedAt[key]
+	return r, ok
+}
+
+func (s *Server) clearRepaired(key string) {
+	s.repairMu.Lock()
+	delete(s.repairedAt, key)
+	s.repairMu.Unlock()
+}
+
+// pullCaughtUp reports whether the pull phase has completed under the
+// given ring — the signal that every record this node should hold is
+// local, which lets the peer-fetch sweep shrink to the replica set.
+func (s *Server) pullCaughtUp(ring ringID) bool {
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+	return s.lastPullDone && s.lastPull == ring
+}
+
+func (s *Server) setPullCaughtUp(ring ringID) {
+	s.repairMu.Lock()
+	s.lastPull = ring
+	s.lastPullDone = true
+	s.repairMu.Unlock()
+}
+
+// RebalanceOnce runs one full repair pass (pull if the epoch moved,
+// then push/handoff) and reports what it did. Passes are serialized;
+// concurrent callers queue. A node without a cluster or store is a
+// no-op. The error return is reserved for a canceled context — per-peer
+// failures are counted in the report and retried on a later pass.
+func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
+	var rep RebalanceReport
+	if s.cluster == nil || s.store == nil {
+		return rep, nil
+	}
+	s.rbRunMu.Lock()
+	defer s.rbRunMu.Unlock()
+
+	ring := s.currentRing()
+	rep.Epoch = ring.epoch
+	self := s.cluster.Self()
+
+	// Pull phase: after an epoch change (or at first pass — lastPull
+	// starts at -1, which is how a node restarted with an empty store
+	// refills itself), fetch peers' listings and apply what we now
+	// replicate. Peers already pulled under this ring are skipped
+	// (per-peer bookkeeping: one Down-but-undeclared member must not
+	// force re-pulling every healthy peer's full listing on every
+	// pass). Departed ex-members are pulled too, best-effort — a
+	// drained node can be a key's only holder until its handoff runs —
+	// but never block completeness: a graceful drain legitimately ends
+	// with the node shut down. Only a complete round over the current
+	// membership marks the ring pulled.
+	if !s.pullCaughtUp(ring) {
+		if s.pulledPeers == nil {
+			s.pulledPeers = map[string]ringID{}
+		}
+		complete := true
+		members := s.cluster.Members()
+		current := make(map[string]bool, len(members))
+		for _, m := range members {
+			current[m.ID] = true
+		}
+		for _, m := range append(members, s.cluster.DepartedMembers()...) {
+			if m.ID == self {
+				continue
+			}
+			if s.pulledPeers[m.ID] == ring {
+				continue
+			}
+			if s.cluster.Health(m.ID) == cluster.Down {
+				if current[m.ID] {
+					complete = false
+					rep.SkippedDown++
+				}
+				continue
+			}
+			recs, err := s.pullRecords(ctx, m)
+			if err != nil {
+				if current[m.ID] {
+					complete = false
+					rep.Errors++
+					s.logf("rebalance: pulling records from %s failed: %v", m.ID, err)
+				}
+				continue
+			}
+			for _, rec := range recs {
+				key := rec.Fingerprint.Key()
+				if !s.selfReplicates(key) {
+					continue
+				}
+				applied, err := s.store.Apply(rec)
+				if err != nil {
+					rep.Errors++
+					continue
+				}
+				if applied {
+					rep.Pulled++
+				}
+			}
+			s.pulledPeers[m.ID] = ring
+		}
+		if complete {
+			s.setPullCaughtUp(ring)
+		}
+	}
+
+	// Push/handoff phase over a point-in-time snapshot of the store.
+	for _, rec := range s.store.Records() {
+		select {
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		default:
+		}
+		rep.Scanned++
+		key := rec.Fingerprint.Key()
+		reps := s.cluster.Replicas(key)
+		selfIn := false
+		for _, m := range reps {
+			if m.ID == self {
+				selfIn = true
+				break
+			}
+		}
+		if selfIn {
+			if r, ok := s.repairedRing(key); ok && r == ring {
+				continue // confirmed on all replicas under this ring already
+			}
+		}
+		body, err := json.Marshal(rec)
+		if err != nil {
+			rep.Errors++
+			continue
+		}
+		allOK := true
+		for _, m := range reps {
+			if m.ID == self {
+				continue
+			}
+			if s.cluster.Health(m.ID) == cluster.Down {
+				allOK = false
+				rep.SkippedDown++
+				continue
+			}
+			applied, err := s.pushRecord(ctx, m, body)
+			if err != nil {
+				allOK = false
+				rep.Errors++
+				s.logf("rebalance: pushing %s v%d to %s failed: %v", key, rec.Version, m.ID, err)
+				continue
+			}
+			rep.Pushed++
+			if applied {
+				rep.Applied++
+			}
+		}
+		if !allOK {
+			continue
+		}
+		if selfIn {
+			s.markRepaired(key, ring)
+		} else if err := s.store.Delete(rec.Fingerprint); err != nil {
+			rep.Errors++
+			s.logf("rebalance: releasing %s after handoff failed: %v", key, err)
+		} else {
+			rep.Dropped++
+			s.clearRepaired(key)
+			s.logf("rebalance: handed off %s v%d to %v", key, rec.Version, memberIDs(reps))
+		}
+	}
+
+	s.rebalancePushed.Add(uint64(rep.Pushed))
+	s.rebalancePulled.Add(uint64(rep.Pulled))
+	s.rebalanceDropped.Add(uint64(rep.Dropped))
+	s.rebalanceErrors.Add(uint64(rep.Errors))
+	return rep, nil
+}
+
+// pushRecord offers one record to a peer's /cluster/replicate;
+// returns whether the peer actually installed it.
+func (s *Server) pushRecord(ctx context.Context, m cluster.Member, body []byte) (bool, error) {
+	fctx, cancel := context.WithTimeout(ctx, rebalanceForwardBudget)
+	defer cancel()
+	resp, err := s.cluster.Forward(fctx, m, http.MethodPost, "/cluster/replicate", "", "application/json", body)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	var ack struct {
+		Applied bool `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return false, err
+	}
+	return ack.Applied, nil
+}
+
+// pullRecords fetches a peer's full record listing.
+func (s *Server) pullRecords(ctx context.Context, m cluster.Member) ([]store.Record, error) {
+	fctx, cancel := context.WithTimeout(ctx, rebalanceForwardBudget)
+	defer cancel()
+	resp, err := s.cluster.Forward(fctx, m, http.MethodGet, "/cluster/records", "", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	var recs []store.Record
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func memberIDs(ms []cluster.Member) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// KickRebalance schedules a repair pass as soon as the background
+// rebalancer is idle (non-blocking; coalesces with a pending kick).
+// View adoptions kick automatically.
+func (s *Server) KickRebalance() {
+	select {
+	case s.rbKick <- struct{}{}:
+	default:
+	}
+}
+
+// StartRebalancer launches the background repair loop: one pass per
+// interval, plus an immediate pass on every kick (membership changes
+// kick automatically). An interval <= 0 means kick-driven only — no
+// periodic passes. Starting twice restarts the loop; StopRebalancer
+// (or Close) ends it. A server without a cluster or store ignores the
+// call.
+func (s *Server) StartRebalancer(interval time.Duration) {
+	if s.cluster == nil || s.store == nil {
+		return
+	}
+	s.rbMu.Lock()
+	defer s.rbMu.Unlock()
+	if s.rbCancel != nil {
+		s.rbCancel()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.rbCancel = cancel
+	s.KickRebalance() // converge promptly on boot (covers -join and empty restarts)
+	go s.rebalanceLoop(ctx, interval)
+}
+
+// StopRebalancer ends the background repair loop (no-op when not
+// started).
+func (s *Server) StopRebalancer() {
+	s.rbMu.Lock()
+	defer s.rbMu.Unlock()
+	if s.rbCancel != nil {
+		s.rbCancel()
+		s.rbCancel = nil
+	}
+}
+
+func (s *Server) rebalanceLoop(ctx context.Context, interval time.Duration) {
+	// A nil ticker channel blocks forever: interval <= 0 is the
+	// kick-driven-only mode the -rebalance-interval flag documents.
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		case <-s.rbKick:
+		}
+		rep, err := s.RebalanceOnce(ctx)
+		if err != nil {
+			return // context canceled mid-pass
+		}
+		if rep.Pushed+rep.Pulled+rep.Dropped+rep.Errors > 0 {
+			s.logf("rebalance: %s", rep)
+		}
+	}
+}

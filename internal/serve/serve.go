@@ -301,6 +301,18 @@ type Stats struct {
 	ClusterReplications      uint64 `json:"clusterReplications,omitempty"`
 	ClusterReplicationErrors uint64 `json:"clusterReplicationErrors,omitempty"`
 	ClusterLocalFallbacks    uint64 `json:"clusterLocalFallbacks,omitempty"`
+
+	// Elastic membership: the adopted view epoch, anti-entropy repair
+	// traffic (records pushed to / pulled from peers, local records
+	// released after handoff), and search-suppressing peer record
+	// fetches on store misses.
+	ClusterEpoch            int64  `json:"clusterEpoch,omitempty"`
+	ClusterRebalancePushed  uint64 `json:"clusterRebalancePushed,omitempty"`
+	ClusterRebalancePulled  uint64 `json:"clusterRebalancePulled,omitempty"`
+	ClusterRebalanceDropped uint64 `json:"clusterRebalanceDropped,omitempty"`
+	ClusterRebalanceErrors  uint64 `json:"clusterRebalanceErrors,omitempty"`
+	ClusterRecordFetches    uint64 `json:"clusterRecordFetches,omitempty"`
+	ClusterRecordFetchHits  uint64 `json:"clusterRecordFetchHits,omitempty"`
 }
 
 // planEntry is one plan-cache slot; ready closes when the tuner run
@@ -358,6 +370,25 @@ type Server struct {
 	replications      atomic.Uint64
 	replicationErrors atomic.Uint64
 	localFallbacks    atomic.Uint64
+
+	// Elastic-membership machinery: the background rebalancer loop, the
+	// per-epoch repaired-record memo, and the peer record-fetch
+	// counters (see rebalance.go / elastic_http.go).
+	rbKick           chan struct{}
+	rbMu             sync.Mutex // guards rbCancel
+	rbCancel         context.CancelFunc
+	rbRunMu          sync.Mutex // serializes RebalanceOnce passes
+	repairMu         sync.Mutex // guards repairedAt, lastPull, lastPullDone
+	repairedAt       map[string]ringID
+	pulledPeers      map[string]ringID // peer id -> ring last fully pulled; only touched under rbRunMu
+	lastPull         ringID
+	lastPullDone     bool
+	rebalancePushed  atomic.Uint64
+	rebalancePulled  atomic.Uint64
+	rebalanceDropped atomic.Uint64
+	rebalanceErrors  atomic.Uint64
+	recordFetches    atomic.Uint64
+	recordFetchHits  atomic.Uint64
 }
 
 // Option configures a Server.
@@ -418,7 +449,13 @@ func New(opts ...Option) *Server {
 		cacheCap:   defaultCacheCap,
 		jobWorkers: defaultJobWorkers,
 		metrics:    metrics.NewRegistry(),
+		rbKick:     make(chan struct{}, 1),
+		repairedAt: map[string]ringID{},
 	}
+	// lastPullDone starts false ("never pulled"): the first repair pass
+	// always pulls, which is how a node restarted with an empty store
+	// (or booted via -join) refills itself without waiting for peers to
+	// push.
 	for _, o := range opts {
 		o(s)
 	}
@@ -437,12 +474,21 @@ func New(opts ...Option) *Server {
 		// the fingerprint's other replicas before the response returns.
 		s.store.SetOnPut(s.replicateRecord)
 	}
+	if s.cluster != nil {
+		// Every adopted membership change immediately kicks a repair
+		// pass (the background loop must be started for it to run).
+		s.cluster.SetOnViewChange(func(cluster.View) { s.KickRebalance() })
+	}
 	return s
 }
 
-// Close stops the job workers (canceling queued and running jobs). The
-// plan store needs no teardown: every Put is already durable.
-func (s *Server) Close() { s.jobs.Close() }
+// Close stops the job workers (canceling queued and running jobs) and
+// the background rebalancer. The plan store needs no teardown: every
+// Put is already durable.
+func (s *Server) Close() {
+	s.StopRebalancer()
+	s.jobs.Close()
+}
 
 // Store exposes the attached plan store (nil without one).
 func (s *Server) Store() *store.Store { return s.store }
@@ -483,6 +529,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.wrap("/jobs/{id}", nil, s.handleJobCancel))
 	mux.HandleFunc("GET /cluster", s.wrap("/cluster", nil, s.handleClusterInfo))
 	mux.HandleFunc("POST /cluster/replicate", s.wrap("/cluster/replicate", nil, s.handleReplicate))
+	mux.HandleFunc("POST /cluster/join", s.wrap("/cluster/join", nil, s.handleClusterJoin))
+	mux.HandleFunc("POST /cluster/drain", s.wrap("/cluster/drain", nil, s.handleClusterDrain))
+	mux.HandleFunc("GET /cluster/view", s.wrap("/cluster/view", nil, s.handleClusterViewGet))
+	mux.HandleFunc("POST /cluster/view", s.wrap("/cluster/view", nil, s.handleClusterViewPost))
+	mux.HandleFunc("POST /cluster/fetch", s.wrap("/cluster/fetch", nil, s.handleClusterFetch))
+	mux.HandleFunc("GET /cluster/records", s.wrap("/cluster/records", nil, s.handleClusterRecords))
 	return mux
 }
 
@@ -548,6 +600,19 @@ func (s *Server) tuneCtx(ctx context.Context, ws WorkloadSpec) (*TuneResponse, e
 	return &resp, nil
 }
 
+// responseFromRecord renders a stored plan record as the /tune reply
+// it answers for — the one shape shared by local store hits and
+// peer-fetched records, so the two no-search paths can never diverge.
+func responseFromRecord(rec store.Record) *TuneResponse {
+	return &TuneResponse{
+		Plan:           rec.Plan,
+		Predicted:      rec.Predicted,
+		PredThroughput: rec.PredThroughput,
+		FromStore:      true,
+		StoreVersion:   rec.Version,
+	}
+}
+
 // runTune answers a plan-cache miss: from the durable store when the
 // exact fingerprint was tuned by any earlier process, otherwise by a
 // fresh search — warm-started from the nearest stored neighbor when one
@@ -557,13 +622,19 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 	if s.store != nil {
 		if rec, ok := s.store.Get(fp); ok {
 			s.storeHits.Add(1)
-			return &TuneResponse{
-				Plan:           rec.Plan,
-				Predicted:      rec.Predicted,
-				PredThroughput: rec.PredThroughput,
-				FromStore:      true,
-				StoreVersion:   rec.Version,
-			}, nil, nil
+			return responseFromRecord(rec), nil, nil
+		}
+		if s.cluster != nil {
+			// Elastic single-flight: before ever searching, ask the fleet
+			// whether someone already holds this fingerprint. During a
+			// membership transition a key's new owner sees a local miss
+			// for a record that lives at its previous replicas; a round
+			// of cheap peer lookups keeps "one search per fingerprint"
+			// true across every join/drain/kill, at a cost that is noise
+			// next to one tuner run.
+			if rec, ok := s.fetchRecordFromPeers(ctx, fp); ok {
+				return responseFromRecord(rec), nil, nil
+			}
 		}
 	}
 	s.tunesRun.Add(1)
@@ -741,6 +812,19 @@ func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	if s.cluster != nil {
+		// The epoch and membership fingerprint piggyback on every probe
+		// reply: peers compare them to their own and reconcile views
+		// (behind on epoch, or diverged at the same epoch) — membership
+		// anti-entropy on the existing probe cadence, no extra
+		// round-trips.
+		writeJSON(rw, http.StatusOK, map[string]any{
+			"ok":     true,
+			"epoch":  s.cluster.Epoch(),
+			"viewFp": fmt.Sprintf("%016x", s.cluster.ViewFingerprint()),
+		})
+		return
+	}
 	writeJSON(rw, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -817,6 +901,15 @@ func (s *Server) scalarStats() Stats {
 	st.ClusterReplications = s.replications.Load()
 	st.ClusterReplicationErrors = s.replicationErrors.Load()
 	st.ClusterLocalFallbacks = s.localFallbacks.Load()
+	if s.cluster != nil {
+		st.ClusterEpoch = s.cluster.Epoch()
+	}
+	st.ClusterRebalancePushed = s.rebalancePushed.Load()
+	st.ClusterRebalancePulled = s.rebalancePulled.Load()
+	st.ClusterRebalanceDropped = s.rebalanceDropped.Load()
+	st.ClusterRebalanceErrors = s.rebalanceErrors.Load()
+	st.ClusterRecordFetches = s.recordFetches.Load()
+	st.ClusterRecordFetchHits = s.recordFetchHits.Load()
 	return st
 }
 

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"os"
+	"testing"
+)
+
+// Delete removes the index entry and the on-disk document; a reopened
+// store no longer sees the record, and deleting the absent key again is
+// a no-op. GetByKey resolves the same record as Get.
+func TestDeleteAndGetByKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fp("gpt3-2.7b", 4, 32)
+	keep := fp("gpt3-2.7b", 8, 32)
+	for _, g := range []Fingerprint{f, keep} {
+		if _, err := s.Put(Record{Fingerprint: g, Plan: tinyPlan(2), Predicted: 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok := s.GetByKey(f.Key())
+	if !ok || rec.Fingerprint.Key() != f.Key() {
+		t.Fatalf("GetByKey: ok=%v rec=%+v", ok, rec)
+	}
+	if _, ok := s.GetByKey("no|such|key"); ok {
+		t.Error("GetByKey hit on unknown key")
+	}
+
+	if err := s.Delete(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(f); ok {
+		t.Error("deleted record still indexed")
+	}
+	if s.Len() != 1 {
+		t.Errorf("store length %d after delete, want 1", s.Len())
+	}
+	if err := s.Delete(f); err != nil {
+		t.Errorf("re-delete not a no-op: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d documents on disk after delete, want 1", len(entries))
+	}
+
+	// Reopen: only the kept record loads.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(f); ok {
+		t.Error("deleted record resurrected on reload")
+	}
+	if _, ok := s2.Get(keep); !ok {
+		t.Error("kept record lost")
+	}
+
+	// In-memory stores delete identically.
+	m := InMemory()
+	if _, err := m.Put(Record{Fingerprint: f, Plan: tinyPlan(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(f); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("in-memory length %d after delete", m.Len())
+	}
+}
+
+// A delete followed by a replica's Apply re-installs the record at its
+// replicated version — the rebalancer's handoff is not a tombstone, so
+// a record legitimately pushed back (ownership moved again) must land.
+func TestApplyAfterDelete(t *testing.T) {
+	s := InMemory()
+	f := fp("gpt3-2.7b", 4, 32)
+	rec, err := s.Put(Record{Fingerprint: f, Plan: tinyPlan(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(f); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := s.Apply(rec)
+	if err != nil || !applied {
+		t.Fatalf("apply after delete: applied=%v err=%v", applied, err)
+	}
+	got, ok := s.Get(f)
+	if !ok || got.Version != rec.Version {
+		t.Fatalf("re-applied record %+v ok=%v", got, ok)
+	}
+}

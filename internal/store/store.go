@@ -180,6 +180,37 @@ func (s *Store) Get(f Fingerprint) (Record, bool) {
 	return rec, ok
 }
 
+// GetByKey returns the record for a canonical fingerprint key — the
+// cluster tier's record-fetch path, where only the wire key crosses
+// nodes.
+func (s *Store) GetByKey(key string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Delete removes a fingerprint's record from the index and, when
+// directory-backed, from disk — the rebalancer's release step after a
+// record this node no longer replicates has been confirmed on every
+// current replica. Unknown fingerprints are a no-op.
+func (s *Store) Delete(f Fingerprint) error {
+	f = f.canonical()
+	key := f.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[key]; !ok {
+		return nil
+	}
+	if s.dir != "" {
+		if err := os.Remove(filepath.Join(s.dir, fileName(f))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: deleting %s: %w", key, err)
+		}
+	}
+	delete(s.recs, key)
+	return nil
+}
+
 // SetOnPut installs the write-through hook, called (outside the store
 // lock) after every successful Put with the record as stored. Install
 // before serving traffic; one hook at a time.

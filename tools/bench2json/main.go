@@ -1,16 +1,27 @@
 // Command bench2json converts `go test -bench` text output (stdin)
 // into a machine-readable JSON document (stdout, or -out <file>) so
-// benchmark trajectories can be recorded per PR (BENCH_PR4.json, ...)
-// and diffed across revisions.
+// benchmark trajectories can be recorded per PR and diffed across
+// revisions, and compares two such documents as a CI regression gate.
 //
-// Usage:
+// Record mode:
 //
-//	go test -run xxx -bench . -benchtime 3x ./... | go run ./tools/bench2json -out BENCH_PR4.json
+//	go test -run xxx -bench . -benchtime 3x ./... | go run ./tools/bench2json -out BENCH.json
 //
 // Non-benchmark lines (test chatter, pass/ok footers) are ignored, so
 // several bench invocations can be concatenated on one stdin. Exits
 // non-zero if no benchmark line was found — an empty trajectory file
 // would silently record "no regression" forever.
+//
+// Compare mode:
+//
+//	go run ./tools/bench2json -tolerance 0.25 -compare BENCH.json BENCH_NEW.json
+//
+// Benchmarks are matched by package and name (the -<GOMAXPROCS> suffix
+// is stripped, so runs from differently sized machines still pair up).
+// The command exits non-zero when any shared benchmark's ns/op
+// regressed beyond the tolerance (new > old × (1+tolerance)), or when
+// the two files share no benchmarks at all — a gate that compares
+// nothing must not pass.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,7 +60,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench2json: ")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	compare := flag.String("compare", "", "compare this baseline report against the report named by the positional argument")
+	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed fractional ns/op growth before a benchmark counts as regressed")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			log.Fatal("usage: bench2json [-tolerance 0.25] -compare old.json new.json")
+		}
+		runCompare(*compare, flag.Arg(0), *tolerance)
+		return
+	}
 
 	rep := Report{
 		GoVersion: runtime.Version(),
@@ -122,4 +144,115 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics = nil
 	}
 	return b, ok
+}
+
+// benchKey pairs benchmarks across reports: package plus name with the
+// trailing -<GOMAXPROCS> suffix stripped (a -8 baseline must match a
+// -4 CI runner).
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Package + "." + name
+}
+
+// comparison is one shared benchmark's delta.
+type comparison struct {
+	Key       string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // new / old
+	Regressed bool
+}
+
+// compareReports pairs the two reports' benchmarks and flags every
+// shared one whose ns/op grew beyond the tolerance. Benchmarks present
+// in only one report are returned in onlyOld/onlyNew so renames and
+// deletions are visible rather than silently ungated.
+func compareReports(old, new Report, tolerance float64) (shared []comparison, onlyOld, onlyNew []string) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	newSeen := map[string]bool{}
+	for _, b := range new.Benchmarks {
+		key := benchKey(b)
+		newSeen[key] = true
+		ob, ok := oldBy[key]
+		if !ok {
+			onlyNew = append(onlyNew, key)
+			continue
+		}
+		c := comparison{Key: key, OldNs: ob.NsPerOp, NewNs: b.NsPerOp}
+		if ob.NsPerOp > 0 {
+			c.Ratio = b.NsPerOp / ob.NsPerOp
+			c.Regressed = c.Ratio > 1+tolerance
+		}
+		shared = append(shared, c)
+	}
+	for key := range oldBy {
+		if !newSeen[key] {
+			onlyOld = append(onlyOld, key)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].Key < shared[j].Key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return shared, onlyOld, onlyNew
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare is the CI regression gate: print the shared-benchmark
+// table and exit non-zero on any regression beyond tolerance (or when
+// nothing was comparable).
+func runCompare(oldPath, newPath string, tolerance float64) {
+	if tolerance < 0 {
+		log.Fatal("-tolerance must be >= 0")
+	}
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, onlyOld, onlyNew := compareReports(oldRep, newRep, tolerance)
+	if len(shared) == 0 {
+		log.Fatalf("no shared benchmarks between %s and %s — nothing was gated", oldPath, newPath)
+	}
+	regressions := 0
+	for _, c := range shared {
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("%-60s %14.0f ns/op -> %14.0f ns/op  %+6.1f%%  %s\n",
+			c.Key, c.OldNs, c.NewNs, (c.Ratio-1)*100, verdict)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("%-60s only in %s (removed or renamed — not gated)\n", k, oldPath)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("%-60s only in %s (new — no baseline yet)\n", k, newPath)
+	}
+	if regressions > 0 {
+		log.Fatalf("%d of %d shared benchmarks regressed beyond %.0f%% tolerance", regressions, len(shared), tolerance*100)
+	}
+	fmt.Printf("bench-regression: %d shared benchmarks within %.0f%% tolerance\n", len(shared), tolerance*100)
 }

@@ -1,6 +1,8 @@
 package main
 
-import "testing"
+import (
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkWarmStartTune/warm-8   \t       3\t 123456789 ns/op\t        42 evals")
@@ -23,5 +25,68 @@ func TestParseBenchLine(t *testing.T) {
 		if _, ok := parseBenchLine(bad); ok {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+// The pairing key strips the -<GOMAXPROCS> suffix (a -8 baseline must
+// match a -4 CI runner) but not sub-benchmark names or digits that are
+// part of the name proper.
+func TestBenchKey(t *testing.T) {
+	cases := []struct {
+		pkg, name, want string
+	}{
+		{"repro", "BenchmarkTune-8", "repro.BenchmarkTune"},
+		{"repro", "BenchmarkTune-16", "repro.BenchmarkTune"},
+		{"repro/internal/core", "BenchmarkWarmStartTune/warm-8", "repro/internal/core.BenchmarkWarmStartTune/warm"},
+		{"repro", "BenchmarkFoo", "repro.BenchmarkFoo"},
+	}
+	for _, c := range cases {
+		if got := benchKey(Benchmark{Package: c.pkg, Name: c.name}); got != c.want {
+			t.Errorf("benchKey(%s, %s) = %q, want %q", c.pkg, c.name, got, c.want)
+		}
+	}
+}
+
+func rep(benches ...Benchmark) Report { return Report{Benchmarks: benches} }
+
+func TestCompareReports(t *testing.T) {
+	old := rep(
+		Benchmark{Package: "p", Name: "BenchmarkA-8", NsPerOp: 1000},
+		Benchmark{Package: "p", Name: "BenchmarkB-8", NsPerOp: 1000},
+		Benchmark{Package: "p", Name: "BenchmarkGone-8", NsPerOp: 50},
+	)
+	fresh := rep(
+		Benchmark{Package: "p", Name: "BenchmarkA-4", NsPerOp: 1200}, // +20%: within 0.25
+		Benchmark{Package: "p", Name: "BenchmarkB-4", NsPerOp: 1300}, // +30%: regressed
+		Benchmark{Package: "p", Name: "BenchmarkNew-4", NsPerOp: 10},
+	)
+	shared, onlyOld, onlyNew := compareReports(old, fresh, 0.25)
+	if len(shared) != 2 {
+		t.Fatalf("shared %+v", shared)
+	}
+	if shared[0].Key != "p.BenchmarkA" || shared[0].Regressed {
+		t.Errorf("A: %+v", shared[0])
+	}
+	if shared[1].Key != "p.BenchmarkB" || !shared[1].Regressed {
+		t.Errorf("B: %+v", shared[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "p.BenchmarkGone" {
+		t.Errorf("onlyOld %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "p.BenchmarkNew" {
+		t.Errorf("onlyNew %v", onlyNew)
+	}
+
+	// An improvement never regresses, and a zero-tolerance gate flags
+	// any growth at all.
+	sh, _, _ := compareReports(rep(Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: 1000}),
+		rep(Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: 900}), 0)
+	if sh[0].Regressed {
+		t.Errorf("improvement flagged: %+v", sh[0])
+	}
+	sh, _, _ = compareReports(rep(Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: 1000}),
+		rep(Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: 1001}), 0)
+	if !sh[0].Regressed {
+		t.Errorf("zero-tolerance growth not flagged: %+v", sh[0])
 	}
 }
