@@ -9,19 +9,23 @@ BENCH_OUT ?= BENCH.json
 # Allowed fractional ns/op growth before bench-regression fails.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: ci vet build test race property bench bench-json bench-regression serve fuzz lint load-smoke cluster-smoke elastic-smoke
+.PHONY: ci vet build test race property bench bench-json bench-regression serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke
 
 ci: lint build race property ## full tier-1 + race + property gate
 
 vet:
 	$(GO) vet ./...
 
-lint: ## gofmt must have nothing to say, and vet must pass
+lint: ## gofmt must have nothing to say, vet must pass, and mistlint must find nothing
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/mistlint ./...
+
+mistlint: ## repo-specific invariant checks (nodeterm, lockio, ctxflow, gotrack, wiretags, errdrop)
+	$(GO) run ./cmd/mistlint ./...
 
 build:
 	$(GO) build ./...
@@ -55,12 +59,12 @@ bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortizati
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
 
 bench-json: ## run the bench set and record a machine-readable trajectory point at $(BENCH_OUT)
-	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core ; \
-	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve ) \
+	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x -benchmem ./internal/core ; \
+	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x -benchmem ./internal/serve ) \
 	| $(GO) run ./tools/bench2json -out $(BENCH_OUT)
 
-bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op growth
+bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op or allocs/op growth
 	$(MAKE) bench-json BENCH_OUT=BENCH_NEW.json
 	$(GO) run ./tools/bench2json -tolerance $(BENCH_TOLERANCE) -compare BENCH.json BENCH_NEW.json
 

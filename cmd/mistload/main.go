@@ -211,7 +211,7 @@ func main() {
 			}
 			auditLC = lc
 			time.AfterFunc(delay, func() {
-				if _, err := lc.Join(id); err != nil {
+				if _, err := lc.Join(ctx, id); err != nil {
 					log.Printf("join %s: %v", id, err)
 					return
 				}
@@ -223,7 +223,7 @@ func main() {
 			id, delay := parseDrill("-drain", *drain)
 			auditLC = lc
 			time.AfterFunc(delay, func() {
-				if err := lc.Drain(id); err != nil {
+				if err := lc.Drain(ctx, id); err != nil {
 					log.Printf("drain %s: %v", id, err)
 					return
 				}

@@ -60,6 +60,9 @@ type Config struct {
 	// DownAfter is the consecutive-failure threshold for Down
 	// (default 3).
 	DownAfter int
+	// Clock is the protocol time source (default SystemClock). The
+	// deterministic simulation harness injects a virtual clock here.
+	Clock Clock
 }
 
 // Cluster is one node's view of the sharded tier: the epoch-versioned
@@ -82,6 +85,7 @@ type Cluster struct {
 	onViewChange func(View)
 
 	syncing atomic.Bool
+	syncWG  sync.WaitGroup
 
 	mu     sync.Mutex
 	cancel context.CancelFunc
@@ -124,6 +128,7 @@ func New(cfg Config) (*Cluster, error) {
 		client:   client,
 		checker:  NewChecker(cfg.Self, cfg.Members, client, cfg.ProbeTimeout, downAfter),
 	}
+	c.checker.SetClock(cfg.Clock)
 	c.view = boot.Clone()
 	c.viewFp = c.view.Fingerprint()
 	c.members = map[string]Member{}
@@ -392,8 +397,11 @@ func (c *Cluster) ProposeDrain(id string) (View, bool, error) {
 // pull the peer's view, adopt it if it supersedes ours, and push ours
 // back if it does not (the tie-break is total, so one side always
 // yields and convergence spreads peer by peer over the probe cadence).
-// At most one sync runs at a time; probes retry naturally.
-func (c *Cluster) observePeerEpoch(id string, epoch int64, fp uint64) {
+// At most one sync runs at a time; probes retry naturally. The sync
+// goroutine inherits the prober's context and is WaitGroup-tracked, so
+// Stop cancels an in-flight sync and waits for it to finish instead of
+// leaking a detached RPC past shutdown.
+func (c *Cluster) observePeerEpoch(ctx context.Context, id string, epoch int64, fp uint64) {
 	cur, curFp := c.ViewID()
 	if epoch < cur || (epoch == cur && (fp == 0 || fp == curFp)) {
 		return
@@ -401,21 +409,24 @@ func (c *Cluster) observePeerEpoch(id string, epoch int64, fp uint64) {
 	if !c.syncing.CompareAndSwap(false, true) {
 		return
 	}
+	c.syncWG.Add(1)
 	go func() {
+		defer c.syncWG.Done()
 		defer c.syncing.Store(false)
-		c.syncViewWith(id)
+		c.syncViewWith(ctx, id)
 	}()
 }
 
 // syncViewWith reconciles views with one peer: fetch, adopt if theirs
 // supersedes, push ours back when it stands — the repair half of
-// probe-driven view anti-entropy.
-func (c *Cluster) syncViewWith(id string) {
+// probe-driven view anti-entropy. Bounded by its own 5s budget within
+// the caller's context, so stopping the prober aborts it.
+func (c *Cluster) syncViewWith(ctx context.Context, id string) {
 	m, ok := c.Member(id)
 	if !ok {
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Addr+"/cluster/view", nil)
 	if err != nil {
@@ -557,14 +568,17 @@ func (c *Cluster) Start(interval time.Duration) {
 	go c.checker.Run(ctx, interval)
 }
 
-// Stop ends the active prober (no-op when not started).
+// Stop ends the active prober (no-op when not started) and waits for
+// any in-flight view sync the prober kicked off: after Stop returns,
+// the cluster issues no further requests.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cancel != nil {
 		c.cancel()
 		c.cancel = nil
 	}
+	c.mu.Unlock()
+	c.syncWG.Wait()
 }
 
 // ParsePeers parses the -peers wire format: comma-separated id=addr

@@ -56,12 +56,13 @@ type Checker struct {
 	client    Doer
 	timeout   time.Duration
 	downAfter int
+	clock     Clock
 
 	mu      sync.Mutex
 	fails   map[string]int // consecutive failures by peer id
 	addrs   map[string]string
 	epochs  map[string]int64 // last view epoch seen in a probe reply
-	onEpoch func(id string, epoch int64, fp uint64)
+	onEpoch func(ctx context.Context, id string, epoch int64, fp uint64)
 }
 
 // NewChecker builds a checker over the peer set (self is always Ok and
@@ -79,6 +80,7 @@ func NewChecker(self string, members []Member, client Doer, timeout time.Duratio
 		client:    client,
 		timeout:   timeout,
 		downAfter: downAfter,
+		clock:     SystemClock,
 		fails:     map[string]int{},
 		addrs:     map[string]string{},
 		epochs:    map[string]int64{},
@@ -117,11 +119,22 @@ func (c *Checker) SetPeers(members []Member) {
 // SetOnPeerEpoch installs the hook invoked (from probe goroutines)
 // whenever a probe reply carries a view epoch; fp is the peer's
 // membership fingerprint (0 for peers that predate fingerprint
-// piggybacking). One hook at a time; install before the prober starts.
-func (c *Checker) SetOnPeerEpoch(fn func(id string, epoch int64, fp uint64)) {
+// piggybacking). The hook receives the probe round's context, so work
+// it starts is canceled when the prober stops. One hook at a time;
+// install before the prober starts.
+func (c *Checker) SetOnPeerEpoch(fn func(ctx context.Context, id string, epoch int64, fp uint64)) {
 	c.mu.Lock()
 	c.onEpoch = fn
 	c.mu.Unlock()
+}
+
+// SetClock injects the protocol clock (default SystemClock); the
+// deterministic simulation harness substitutes a virtual one. Set
+// before the prober starts.
+func (c *Checker) SetClock(clk Clock) {
+	if clk != nil {
+		c.clock = clk
+	}
 }
 
 // PeerEpoch reports the last view epoch a peer announced in a probe
@@ -175,7 +188,7 @@ func (c *Checker) ReportFailure(id string) {
 
 // recordEpoch stores a probed peer's announced epoch and returns the
 // hook to invoke (outside the checker lock).
-func (c *Checker) recordEpoch(id string, epoch int64) func(string, int64, uint64) {
+func (c *Checker) recordEpoch(id string, epoch int64) func(context.Context, string, int64, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.epochs[id] = epoch
@@ -228,8 +241,12 @@ func (c *Checker) ProbeOnce(ctx context.Context) {
 			}
 			if json.Unmarshal(body, &hb) == nil && (hb.Epoch > 0 || hb.ViewFp != "") {
 				fp, _ := strconv.ParseUint(hb.ViewFp, 16, 64)
+				// The hook gets the round's context (not the per-probe
+				// pctx, which expires with this reply): view syncs it
+				// spawns should outlive one probe but die with the
+				// prober.
 				if fn := c.recordEpoch(p.ID, hb.Epoch); fn != nil {
-					fn(p.ID, hb.Epoch, fp)
+					fn(ctx, p.ID, hb.Epoch, fp)
 				}
 			}
 		}(p)
@@ -244,13 +261,13 @@ func (c *Checker) Run(ctx context.Context, interval time.Duration) {
 		interval = 2 * time.Second
 	}
 	c.ProbeOnce(ctx)
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	tick, stop := c.clock.Ticker(interval)
+	defer stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-tick:
 			c.ProbeOnce(ctx)
 		}
 	}

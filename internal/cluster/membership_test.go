@@ -392,3 +392,63 @@ func TestAdoptionRebuildsRing(t *testing.T) {
 		t.Errorf("%d/%d keys moved on one join — far past the ~1/N share", moved, len(keys))
 	}
 }
+
+// blockingDoer answers /healthz with a higher epoch, then parks any
+// /cluster/view fetch until the request's context is canceled — the
+// shape of a peer that wedges mid-sync.
+type blockingDoer struct {
+	fetching chan struct{} // closed when the first view fetch arrives
+	once     sync.Once
+	mu       sync.Mutex
+	canceled bool
+}
+
+func (d *blockingDoer) Do(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	switch req.URL.Path {
+	case "/healthz":
+		json.NewEncoder(rec).Encode(map[string]any{"ok": true, "epoch": int64(5)})
+	case "/cluster/view":
+		d.once.Do(func() { close(d.fetching) })
+		<-req.Context().Done()
+		d.mu.Lock()
+		d.canceled = true
+		d.mu.Unlock()
+		return nil, req.Context().Err()
+	default:
+		rec.WriteHeader(http.StatusNotFound)
+	}
+	return rec.Result(), nil
+}
+
+// Regression: Stop must cancel and wait out an in-flight view sync.
+// The sync goroutine used to run detached on context.Background(), so
+// Stop returned while the fetch kept its connection and goroutine
+// alive past shutdown. Now the sync inherits the prober's context and
+// is WaitGroup-tracked: Stop cancels it and blocks until it finishes.
+func TestStopCancelsInFlightViewSync(t *testing.T) {
+	two := []Member{{ID: "n1", Addr: "http://n1"}, {ID: "n2", Addr: "http://n2"}}
+	doer := &blockingDoer{fetching: make(chan struct{})}
+	cl := mustCluster(t, "n1", two, doer)
+
+	cl.Start(5 * time.Millisecond)
+	select {
+	case <-doer.fetching:
+	case <-time.After(5 * time.Second):
+		cl.Stop()
+		t.Fatal("probe loop never triggered a view sync")
+	}
+
+	done := make(chan struct{})
+	go func() { cl.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return while a view sync was in flight")
+	}
+	doer.mu.Lock()
+	defer doer.mu.Unlock()
+	if !doer.canceled {
+		t.Error("in-flight view fetch never observed cancellation")
+	}
+}

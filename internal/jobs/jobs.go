@@ -275,11 +275,14 @@ func (m *Manager) startLocked() {
 	m.started = true
 	for i := 0; i < m.workers; i++ {
 		m.wg.Add(1)
-		go m.worker()
+		go m.worker(m.baseCtx)
 	}
 }
 
-func (m *Manager) worker() {
+// worker is one pool goroutine: it drains the priority queue, running
+// each task under a per-job context derived from ctx (the manager's
+// lifecycle context), so Close cancels running tasks.
+func (m *Manager) worker(ctx context.Context) {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
@@ -298,18 +301,18 @@ func (m *Manager) worker() {
 		j.state = StateRunning
 		j.started = time.Now()
 		j.events = append(j.events, Event{Time: j.started, Msg: "started"})
-		ctx, cancel := context.WithCancel(m.baseCtx)
+		jctx, cancel := context.WithCancel(ctx)
 		j.cancelRunning = cancel
 		m.mu.Unlock()
 
 		m.busy.Add(1)
-		result, err := runTask(j.task, ctx, func(msg string) {
+		result, err := runTask(jctx, j.task, func(msg string) {
 			m.mu.Lock()
 			j.events = append(j.events, Event{Time: time.Now(), Msg: msg})
 			m.mu.Unlock()
 		})
 		m.busy.Add(-1)
-		ctxErr := ctx.Err() // read before the cleanup cancel below
+		ctxErr := jctx.Err() // read before the cleanup cancel below
 		cancel()
 
 		m.mu.Lock()
@@ -342,7 +345,7 @@ func (m *Manager) worker() {
 
 // runTask isolates task panics into job failures: one bad request must
 // not take down a pool worker.
-func runTask(t Task, ctx context.Context, emit func(string)) (result any, err error) {
+func runTask(ctx context.Context, t Task, emit func(string)) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobs: task panicked: %v", r)

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces context propagation through I/O paths, in
+// two rules:
+//
+// Rule A — a function that performs I/O (directly calls network/disk
+// primitives, or calls a module function whose first parameter is a
+// context.Context) must itself receive a context: either a
+// context.Context first parameter or an *http.Request (whose context
+// the handler is expected to use). Without one, the function has
+// nowhere to get a deadline from except minting its own — which breaks
+// the cancellation chain from the client down.
+//
+// Rule B — a function that HAS a context (parameter or request) must
+// not call context.Background() or context.TODO(): minting a root
+// context inside a request path detaches the work from the caller's
+// deadline. Deliberate detachment (write-through replication that must
+// survive the response) is allowed with an ignore directive stating
+// why.
+//
+// Exempt from rule A: main/init, transport implementations (methods
+// named Do, RoundTrip, ServeHTTP), and functions already carrying a
+// context anywhere in their signature — though a context parameter in
+// a non-first position is reported as its own finding.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "I/O paths take a context.Context first parameter and never mint context.Background()",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	if !matchScope(pass.Cfg.CtxPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxflow(pass, fd)
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParams classifies fd's signature: does it take a context.Context
+// (and is it first), or an *http.Request.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) (hasCtx, ctxFirst, hasReq bool) {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false, false, false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContextType(t) {
+			hasCtx = true
+			if i == 0 {
+				ctxFirst = true
+			}
+		}
+		if isPtrToNamed(t, "net/http", "Request") {
+			hasReq = true
+		}
+	}
+	return hasCtx, ctxFirst, hasReq
+}
+
+// exemptName lists transport/entry-point identities that legitimately
+// sit at the edge of the context chain.
+func exemptName(fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "main", "init":
+		return true
+	}
+	if fd.Recv != nil {
+		switch fd.Name.Name {
+		case "Do", "RoundTrip", "ServeHTTP":
+			return true
+		}
+	}
+	return false
+}
+
+// ctxFirstModuleCall reports whether the call invokes a module
+// function whose first parameter is a context.Context — evidence the
+// caller sits on a context-plumbed path.
+func ctxFirstModuleCall(pass *Pass, call *ast.CallExpr) bool {
+	callee := calleeOf(pass.Pkg.Info, call)
+	if callee == nil || !pass.Prog.IsModuleFunc(callee) {
+		return false
+	}
+	sig := callee.Type().(*types.Signature)
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// walkCallsCtx is walkCalls for rule A: it additionally skips function
+// literals whose own signature carries a context.Context or
+// *http.Request parameter — a task or handler closure receives its
+// context from whoever invokes it, so its I/O does not oblige the
+// enclosing function to take one.
+func walkCallsCtx(info *types.Info, n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			for _, arg := range node.Call.Args {
+				walkCallsCtx(info, arg, fn)
+			}
+			return false
+		case *ast.FuncLit:
+			if sig, ok := info.Types[node].Type.(*types.Signature); ok {
+				for i := 0; i < sig.Params().Len(); i++ {
+					t := sig.Params().At(i).Type()
+					if isContextType(t) || isPtrToNamed(t, "net/http", "Request") {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn(node)
+		}
+		return true
+	})
+}
+
+func checkCtxflow(pass *Pass, fd *ast.FuncDecl) {
+	hasCtx, ctxFirst, hasReq := ctxParams(pass.Pkg.Info, fd)
+
+	// Rule A: find the first I/O trigger in functions with no context.
+	if !hasCtx && !hasReq && !exemptName(fd) {
+		var trigger *ast.CallExpr
+		walkCallsCtx(pass.Pkg.Info, fd.Body, func(call *ast.CallExpr) {
+			if trigger != nil {
+				return
+			}
+			if pass.Prog.IsBaseIOCall(pass.Pkg.Info, call) || ctxFirstModuleCall(pass, call) {
+				trigger = call
+			}
+		})
+		if trigger != nil {
+			callee := calleeOf(pass.Pkg.Info, trigger)
+			name := "an I/O primitive"
+			if callee != nil {
+				name = callee.FullName()
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"%s calls %s but takes no context.Context: plumb the caller's context (first parameter) so deadlines and cancellation reach the I/O",
+				fd.Name.Name, name)
+		}
+	}
+	if hasCtx && !ctxFirst {
+		pass.Reportf(fd.Name.Pos(),
+			"%s takes a context.Context but not as its first parameter", fd.Name.Name)
+	}
+
+	// Rule B: no minted root contexts where a real one is in scope.
+	if hasCtx || hasReq {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.Pkg.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+				return true
+			}
+			if callee.Name() == "Background" || callee.Name() == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s() inside %s, which already has a context: minting a root context detaches this work from the caller's deadline",
+					callee.Name(), fd.Name.Name)
+			}
+			return true
+		})
+	}
+}

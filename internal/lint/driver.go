@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Result is one mistlint run: surviving diagnostics, everything an
+// ignore directive suppressed, and the directives themselves (with use
+// counts) so the summary can account for every silenced finding.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Suppression
+	Directives  []*Directive
+}
+
+// Run executes the analyzers over every package in the program and
+// applies ignore directives. Malformed directives surface as
+// diagnostics of the pseudo-check "mistlint".
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) *Result {
+	var raw []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg, Prog: prog, diags: &raw}
+			a.Run(pass)
+		}
+	}
+	dirs, bad := collectDirectives(prog)
+	raw = append(raw, bad...)
+	sortDiags(raw)
+	active, suppressed := applyDirectives(raw, dirs)
+	return &Result{Diagnostics: active, Suppressed: suppressed, Directives: dirs}
+}
+
+// WriteReport prints diagnostics to w in the canonical
+// "file:line: [check] message" format, followed by a one-line summary
+// tallying findings and directive uses per check. Unused directives
+// are listed so stale exemptions surface instead of rotting.
+func (r *Result) WriteReport(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d)
+	}
+	ignored := map[string]int{}
+	unused := 0
+	for _, dir := range r.Directives {
+		if dir.Uses == 0 {
+			unused++
+			fmt.Fprintf(w, "%s:%d: note: unused ignore directive for %q (%s)\n",
+				dir.Pos.Filename, dir.Pos.Line, dir.Check, dir.Reason)
+			continue
+		}
+		ignored[dir.Check] += dir.Uses
+	}
+	var parts []string
+	var checks []string
+	for c := range ignored {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	total := 0
+	for _, c := range checks {
+		parts = append(parts, fmt.Sprintf("%s %d", c, ignored[c]))
+		total += ignored[c]
+	}
+	summary := fmt.Sprintf("mistlint: %d finding(s), %d suppressed by %d directive(s)",
+		len(r.Diagnostics), total, len(r.Directives)-unused)
+	if len(parts) > 0 {
+		summary += " (" + strings.Join(parts, ", ") + ")"
+	}
+	if unused > 0 {
+		summary += fmt.Sprintf(", %d unused directive(s)", unused)
+	}
+	fmt.Fprintln(w, summary)
+}

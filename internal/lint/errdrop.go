@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrdropAnalyzer forbids silently discarding error results from
+// mutation calls into the store, cluster, metrics, and jobs packages.
+// A dropped store.Put error is a replication write that never
+// happened; a dropped cluster error is a membership change the rest of
+// the cluster disagrees about. Calls used as bare expression
+// statements whose callee lives in a mutation package and returns an
+// error are flagged; an explicit `_ = f()` stays legal — it is visible
+// in review and greppable.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no discarded error results from store/cluster/metrics mutation calls",
+	Run:  runErrdrop,
+}
+
+// returnsError reports whether any of fn's results is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runErrdrop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.Pkg.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if !matchScope(pass.Cfg.MutationPkgs, callee.Pkg().Path()) {
+				return true
+			}
+			if !returnsError(callee) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s discarded: handle it or discard explicitly with _ =",
+				callee.FullName())
+			return true
+		})
+	}
+}

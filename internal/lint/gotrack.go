@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GotrackAnalyzer forbids naked goroutines: an anonymous `go func()`
+// whose lifetime nothing tracks. An untracked goroutine outlives
+// shutdown, races teardown in tests, and leaks on every early return.
+// A spawned literal is accepted when its completion is observable:
+//
+//   - it contains a deferred .Done() call (WaitGroup discipline), or
+//   - its first statement is `defer close(ch)` (the producer ties its
+//     lifetime to a channel consumers drain), or
+//   - its body is a single send or call statement (the one-shot
+//     completion-notification idiom, e.g. errc <- srv.ListenAndServe()).
+//
+// `go namedFunc(...)` is always accepted: a named function is a
+// designed lifecycle entry point (workers, loops) whose tracking lives
+// at its definition.
+var GotrackAnalyzer = &Analyzer{
+	Name: "gotrack",
+	Doc:  "no naked goroutines outside WaitGroup/completion-signal patterns",
+	Run:  runGotrack,
+}
+
+func runGotrack(pass *Pass) {
+	if !matchScope(pass.Cfg.GoroutinePkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if trackedGoroutine(lit) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"naked goroutine: track it with a WaitGroup (defer wg.Done()) or a completion signal (defer close(ch)) so shutdown can wait for it")
+			return true
+		})
+	}
+}
+
+// trackedGoroutine reports whether the spawned literal's completion is
+// observable by the patterns gotrack accepts.
+func trackedGoroutine(lit *ast.FuncLit) bool {
+	stmts := lit.Body.List
+	if len(stmts) == 1 {
+		switch stmts[0].(type) {
+		case *ast.SendStmt, *ast.ExprStmt:
+			return true
+		}
+	}
+	for i, s := range stmts {
+		ds, ok := s.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fun := ast.Unparen(ds.Call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Done" {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "close" && i == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces an intentional-exception comment:
+//
+//	//mistlint:ignore check-name reason...
+//
+// A directive suppresses matching diagnostics anchored to its own line
+// or the line directly below (so it can sit inline or as a standalone
+// comment above the code). Every directive must carry a reason; the
+// driver tallies uses so ignores cannot accumulate silently.
+const directivePrefix = "mistlint:ignore"
+
+// Directive is one parsed //mistlint:ignore comment.
+type Directive struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+	// Uses counts the diagnostics this directive suppressed.
+	Uses int
+}
+
+// Suppression pairs a suppressed diagnostic with the directive that
+// silenced it.
+type Suppression struct {
+	Diagnostic Diagnostic
+	Directive  *Directive
+}
+
+// collectDirectives scans every comment in the program for ignore
+// directives. Malformed directives (no check name, or no reason) are
+// reported as diagnostics of the pseudo-check "mistlint" so they fail
+// the build instead of silently suppressing nothing.
+func collectDirectives(prog *Program) ([]*Directive, []Diagnostic) {
+	var dirs []*Directive
+	var bad []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, directivePrefix)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Check:   "mistlint",
+							Message: "malformed ignore directive: want //mistlint:ignore check-name reason",
+						})
+						continue
+					}
+					dirs = append(dirs, &Directive{
+						Pos:    pos,
+						Check:  fields[0],
+						Reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		if dirs[i].Pos.Filename != dirs[j].Pos.Filename {
+			return dirs[i].Pos.Filename < dirs[j].Pos.Filename
+		}
+		return dirs[i].Pos.Line < dirs[j].Pos.Line
+	})
+	return dirs, bad
+}
+
+// matchesDirective reports whether d anchors the diagnostic: the
+// directive's line, or the line above the diagnostic (directive.Line+1
+// == anchor line), in the same file.
+func matchesDirective(dir *Directive, pos token.Position) bool {
+	if dir.Pos.Filename != pos.Filename {
+		return false
+	}
+	return dir.Pos.Line == pos.Line || dir.Pos.Line+1 == pos.Line
+}
+
+// applyDirectives splits raw diagnostics into surviving and suppressed
+// sets, incrementing each directive's use count.
+func applyDirectives(raw []Diagnostic, dirs []*Directive) (active []Diagnostic, suppressed []Suppression) {
+	for _, d := range raw {
+		var hit *Directive
+		for _, dir := range dirs {
+			if dir.Check != d.Check {
+				continue
+			}
+			if matchesDirective(dir, d.Pos) {
+				hit = dir
+				break
+			}
+			for _, alt := range d.AltPos {
+				if matchesDirective(dir, alt) {
+					hit = dir
+					break
+				}
+			}
+			if hit != nil {
+				break
+			}
+		}
+		if hit != nil {
+			hit.Uses++
+			suppressed = append(suppressed, Suppression{Diagnostic: d, Directive: hit})
+			continue
+		}
+		active = append(active, d)
+	}
+	return active, suppressed
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture corpus lives in testdata/src/<check>/, one bare package
+// per analyzer. Expected diagnostics are marked in the fixture source
+// with "// want" comments carrying a backquoted regex on the flagged
+// line; everything else in a fixture must stay clean. One loader is
+// shared across fixtures so the standard library is type-checked from
+// source only once.
+var fixtureLoader struct {
+	once sync.Once
+	l    *Loader
+	err  error
+}
+
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	fixtureLoader.once.Do(func() {
+		fixtureLoader.l, fixtureLoader.err = NewLoader(filepath.Join("testdata", "src"))
+	})
+	if fixtureLoader.err != nil {
+		t.Fatalf("loader: %v", fixtureLoader.err)
+	}
+	l := fixtureLoader.l
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return NewProgram(l.Fset, "", []*Package{pkg})
+}
+
+// fixtureConfig scopes every analyzer to all fixture packages, except
+// errdrop, whose mutation-package list names callee packages: the
+// errdrop fixture calls into itself.
+func fixtureConfig() *Config {
+	all := []string{"*"}
+	return &Config{
+		ProtocolPkgs:  all,
+		WirePkgs:      all,
+		GoroutinePkgs: all,
+		CtxPkgs:       all,
+		MutationPkgs:  []string{"errdrop"},
+	}
+}
+
+type wantDiag struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses the want comments (a backquoted regex after
+// "// want ") out of the loaded fixture files.
+func collectWants(t *testing.T, prog *Program) []*wantDiag {
+	t.Helper()
+	var wants []*wantDiag
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSpace(rest)
+					pos := prog.Fset.Position(c.Pos())
+					if len(rest) < 2 || rest[0] != '`' || rest[len(rest)-1] != '`' {
+						t.Fatalf("%s:%d: malformed want comment (use `// want `regex``)", pos.Filename, pos.Line)
+					}
+					re, err := regexp.Compile(rest[1 : len(rest)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its fixture package and checks
+// the diagnostics against the want comments exactly: every want must
+// be hit on its line, and no diagnostic may appear without one.
+func TestFixtures(t *testing.T) {
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	for _, name := range []string{"nodeterm", "lockio", "ctxflow", "gotrack", "wiretags", "errdrop"} {
+		t.Run(name, func(t *testing.T) {
+			a := byName[name]
+			if a == nil {
+				t.Fatalf("no analyzer named %q", name)
+			}
+			prog := loadFixture(t, name)
+			res := Run(prog, fixtureConfig(), []*Analyzer{a})
+			wants := collectWants(t, prog)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no want comments — it would pass vacuously")
+			}
+			for _, d := range res.Diagnostics {
+				if d.Check != name {
+					t.Errorf("diagnostic from unexpected check: %s", d)
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit, matched = true, true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+			if len(res.Suppressed) != 0 {
+				t.Errorf("fixture %s has no directives but %d suppressions", name, len(res.Suppressed))
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectives pins the directive contract on the ignore
+// fixture: same-line and line-above directives suppress and are
+// tallied, a wrong-check directive does not, unused and malformed
+// directives surface, and the report accounts for all of it.
+func TestIgnoreDirectives(t *testing.T) {
+	prog := loadFixture(t, "ignore")
+	res := Run(prog, fixtureConfig(), []*Analyzer{NodetermAnalyzer})
+
+	var nodeterm, malformed int
+	for _, d := range res.Diagnostics {
+		switch d.Check {
+		case "nodeterm":
+			nodeterm++
+			if !strings.Contains(d.Message, "time.Sleep") {
+				t.Errorf("surviving nodeterm finding should be the wrong-check time.Sleep, got: %s", d)
+			}
+		case "mistlint":
+			malformed++
+			if !strings.Contains(d.Message, "malformed ignore directive") {
+				t.Errorf("unexpected mistlint finding: %s", d)
+			}
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if nodeterm != 1 || malformed != 1 {
+		t.Errorf("got %d nodeterm + %d malformed findings, want 1 + 1", nodeterm, malformed)
+	}
+
+	if len(res.Suppressed) != 2 {
+		t.Errorf("got %d suppressions, want 2 (line-above and inline)", len(res.Suppressed))
+	}
+	for _, s := range res.Suppressed {
+		if s.Directive.Check != "nodeterm" {
+			t.Errorf("suppressed by non-nodeterm directive: %+v", s.Directive)
+		}
+	}
+
+	// Four well-formed directives: two used once each, the wrong-check
+	// lockio one and the stale nodeterm one unused.
+	if len(res.Directives) != 4 {
+		t.Fatalf("got %d directives, want 4", len(res.Directives))
+	}
+	var used, unused int
+	for _, dir := range res.Directives {
+		switch dir.Uses {
+		case 0:
+			unused++
+		case 1:
+			used++
+		default:
+			t.Errorf("directive at line %d used %d times, want 0 or 1", dir.Pos.Line, dir.Uses)
+		}
+		if dir.Reason == "" {
+			t.Errorf("directive at line %d parsed with empty reason", dir.Pos.Line)
+		}
+	}
+	if used != 2 || unused != 2 {
+		t.Errorf("got %d used + %d unused directives, want 2 + 2", used, unused)
+	}
+
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	out := buf.String()
+	wantSummary := "mistlint: 2 finding(s), 2 suppressed by 2 directive(s) (nodeterm 2), 2 unused directive(s)"
+	if !strings.Contains(out, wantSummary) {
+		t.Errorf("report missing summary %q:\n%s", wantSummary, out)
+	}
+	if strings.Count(out, "note: unused ignore directive") != 2 {
+		t.Errorf("report should list both unused directives:\n%s", out)
+	}
+}
+
+// TestDiagnosticFormat pins the canonical output shape other tooling
+// (CI annotations, editors) parses.
+func TestDiagnosticFormat(t *testing.T) {
+	prog := loadFixture(t, "wiretags")
+	res := Run(prog, fixtureConfig(), []*Analyzer{WiretagsAnalyzer})
+	if len(res.Diagnostics) == 0 {
+		t.Fatal("wiretags fixture produced no diagnostics")
+	}
+	format := regexp.MustCompile(`^.+\.go:\d+: \[wiretags\] .+$`)
+	for _, d := range res.Diagnostics {
+		if !format.MatchString(d.String()) {
+			t.Errorf("diagnostic %q does not match file:line: [check] message", d.String())
+		}
+	}
+}
+
+// TestRepoClean runs the full suite over the real repository: the tree
+// must stay lint-clean with every suppression accounted for — the same
+// gate cmd/mistlint enforces in CI.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath == "" {
+		t.Fatal("module root has no go.mod")
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(l.Fset, l.ModulePath, pkgs)
+	res := Run(prog, DefaultConfig(), Analyzers())
+	for _, d := range res.Diagnostics {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+	for _, dir := range res.Directives {
+		if dir.Uses == 0 {
+			t.Errorf("%s:%d: unused ignore directive for %q (%s)",
+				dir.Pos.Filename, dir.Pos.Line, dir.Check, dir.Reason)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockioAnalyzer forbids holding a mutex across network or disk I/O.
+// A lock held across an RPC or an fsync turns one slow peer into a
+// cluster-wide stall: every reader queues behind the writer queued
+// behind the wire. The check walks each function linearly, tracking
+// which sync.Mutex/RWMutex receivers are held (Lock/RLock push,
+// Unlock/RUnlock pop, defer Unlock pins until exit) and flags any call
+// that — directly or transitively through module functions — performs
+// I/O while a lock is held.
+//
+// Findings carry the Lock() call site as an alternate anchor, so a
+// single //mistlint:ignore lockio directive at the acquisition site
+// exempts a deliberately serialized critical section (e.g. a
+// writer-ordering lock around disk commits) without sprinkling
+// directives over every call inside it.
+//
+// The walk is linear and intra-procedural: an Unlock inside one branch
+// clears the held state for code after the branch too. That trades
+// false negatives for zero false positives on the early-unlock-return
+// idiom.
+var LockioAnalyzer = &Analyzer{
+	Name: "lockio",
+	Doc:  "no mutex held across network or disk I/O",
+	Run:  runLockio,
+}
+
+func runLockio(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.block(fd.Body)
+		}
+	}
+}
+
+// heldLock is one acquired mutex: the receiver expression rendered to
+// a stable key, the kind of acquisition, and the Lock() position used
+// as the suppression anchor.
+type heldLock struct {
+	key    string // receiver expr + lock kind
+	name   string // receiver expr, for the message
+	pos    token.Pos
+	pinned bool // deferred unlock: held until function exit
+}
+
+type lockWalker struct {
+	pass *Pass
+	held []heldLock
+}
+
+// lockKind classifies a call as a mutex operation on a
+// sync.Mutex/RWMutex receiver. Returns the method name ("Lock",
+// "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock") and the
+// rendered receiver expression, or "" if the call is not a mutex op.
+func (w *lockWalker) lockKind(call *ast.CallExpr) (kind, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection, ok := w.pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), types.ExprString(sel.X)
+	}
+	return "", ""
+}
+
+// acquire/release map Try variants and read locks onto their pairs.
+func baseKind(kind string) (pair string, isAcquire bool) {
+	switch kind {
+	case "Lock", "TryLock":
+		return "W", true
+	case "RLock", "TryRLock":
+		return "R", true
+	case "Unlock":
+		return "W", false
+	case "RUnlock":
+		return "R", false
+	}
+	return "", false
+}
+
+func (w *lockWalker) push(recv, pair string, pos token.Pos, pinned bool) {
+	w.held = append(w.held, heldLock{key: recv + "/" + pair, name: recv, pos: pos, pinned: pinned})
+}
+
+func (w *lockWalker) pop(recv, pair string) {
+	key := recv + "/" + pair
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].key == key && !w.held[i].pinned {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		if kind, recv := w.lockKind(s.Call); kind != "" {
+			if pair, acquire := baseKind(kind); !acquire {
+				// defer x.Unlock(): pin the matching lock until exit.
+				key := recv + "/" + pair
+				for i := range w.held {
+					if w.held[i].key == key {
+						w.held[i].pinned = true
+					}
+				}
+			}
+			return
+		}
+		// Other deferred calls run at exit, interleaved with deferred
+		// unlocks in LIFO order we do not model; evaluate only the
+		// argument expressions, which run now.
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs without the caller's stack; only the
+		// arguments are evaluated while the lock is held.
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.block(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.block(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm)
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression in evaluation order for mutex operations
+// and I/O calls made while locks are held. Function literals get a
+// fresh walker: their bodies run with their own (captured) lock
+// discipline, which a linear intra-procedural scan cannot relate to
+// the creating frame's.
+func (w *lockWalker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lw := &lockWalker{pass: w.pass}
+			lw.block(n.Body)
+			return false
+		case *ast.CallExpr:
+			if kind, recv := w.lockKind(n); kind != "" {
+				pair, acquire := baseKind(kind)
+				if acquire {
+					w.push(recv, pair, n.Pos(), false)
+				} else {
+					w.pop(recv, pair)
+				}
+				return false
+			}
+			if len(w.held) > 0 && w.pass.Prog.IsIOCall(w.pass.Pkg.Info, n) {
+				lk := w.held[len(w.held)-1]
+				alts := make([]token.Pos, 0, len(w.held))
+				for _, h := range w.held {
+					alts = append(alts, h.pos)
+				}
+				callee := calleeOf(w.pass.Pkg.Info, n)
+				w.pass.ReportfAlt(n.Pos(), alts,
+					"%s performs I/O while %s is held (locked at line %d): release the lock before network or disk calls",
+					callee.FullName(), lk.name, w.pass.Prog.Fset.Position(lk.pos).Line)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// taint.go computes which module functions (transitively) perform
+// network or disk I/O, by fixpoint over the module's static call
+// graph. lockio uses it to decide whether a call made under a held
+// mutex blocks on I/O; ctxflow uses the base-I/O predicate to find
+// functions that must carry a context.
+//
+// The analysis is deliberately an approximation: dynamic calls through
+// function-typed fields (hooks) are invisible, and fmt.Fprintf to an
+// io.Writer is not counted even if the writer is a socket. It is tuned
+// to catch the failure modes this repo actually has — HTTP round trips
+// via Doer.Do and net/http, and store commits via os file operations —
+// with no false positives on pure in-memory code.
+
+// osIONames are the os package functions and *os.File methods treated
+// as disk I/O.
+var osIONames = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "ReadDir": true, "Mkdir": true, "MkdirAll": true,
+	"Stat": true, "Truncate": true,
+	// *os.File methods.
+	"Write": true, "WriteString": true, "WriteAt": true, "Read": true,
+	"ReadAt": true, "Sync": true, "Close": true, "Seek": true,
+}
+
+// ioPkgIONames are the io package helpers that drive a reader/writer.
+var ioPkgIONames = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadAll": true, "ReadFull": true, "WriteString": true,
+}
+
+// httpFuncIONames are the net/http package-level functions that open a
+// connection or serve one. Constructors (NewRequest, NewServeMux) and
+// header-map accessors are in-memory and deliberately excluded.
+var httpFuncIONames = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Serve": true, "ServeTLS": true,
+}
+
+// httpMethodIONames are the net/http methods that hit the wire
+// (Client.Do is caught separately by the Doer shape).
+var httpMethodIONames = map[string]bool{
+	"RoundTrip": true, "Shutdown": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true,
+}
+
+// netIONames are the net package entry points that dial, listen, or
+// resolve; pure helpers (JoinHostPort, ParseIP) are excluded.
+var netIONames = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"Listen": true, "ListenTCP": true, "ListenPacket": true,
+	"Accept": true, "Read": true, "Write": true, "Close": true,
+	"LookupHost": true, "LookupIP": true, "LookupAddr": true, "LookupCNAME": true,
+}
+
+type taintInfo struct {
+	// tainted marks module functions that transitively reach base I/O.
+	tainted map[*types.Func]bool
+	// moduleFuncs maps every module function/method declaration to its
+	// body, for call-graph construction.
+	moduleFuncs map[*types.Func]*ast.FuncDecl
+}
+
+// isBaseIO reports whether calling fn directly performs network or
+// disk I/O, judged by the callee object alone.
+func isBaseIO(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if isDoerDo(fn) {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch pkg.Path() {
+	case "net/http":
+		if sig != nil && sig.Recv() == nil {
+			return httpFuncIONames[fn.Name()]
+		}
+		return httpMethodIONames[fn.Name()]
+	case "net":
+		return netIONames[fn.Name()]
+	case "os":
+		return osIONames[fn.Name()]
+	case "io":
+		return ioPkgIONames[fn.Name()]
+	}
+	return false
+}
+
+// isDoerDo reports whether fn is a Do method with the http round-trip
+// shape func(*http.Request) (*http.Response, error) — the repo's Doer
+// interface, http.Client.Do, and every test double that mimics them.
+func isDoerDo(fn *types.Func) bool {
+	if fn.Name() != "Do" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	return isPtrToNamed(sig.Params().At(0).Type(), "net/http", "Request") &&
+		isPtrToNamed(sig.Results().At(0).Type(), "net/http", "Response")
+}
+
+// isPtrToNamed reports whether t is *pkgPath.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeOf resolves a call expression to the invoked function object,
+// or nil for dynamic calls (function values, hook fields) and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// buildTaint runs the I/O-taint fixpoint over every loaded package.
+func buildTaint(prog *Program) *taintInfo {
+	ti := &taintInfo{
+		tainted:     map[*types.Func]bool{},
+		moduleFuncs: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ti.moduleFuncs[fn] = fd
+				}
+			}
+		}
+	}
+	// Call edges: caller -> callees, with goroutine spawns excluded
+	// (a `go` statement returns immediately — it does not block the
+	// caller on the spawned I/O).
+	callees := map[*types.Func][]*types.Func{}
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				walkCalls(fd.Body, func(call *ast.CallExpr) {
+					callee := calleeOf(info, call)
+					if callee == nil {
+						return
+					}
+					if isBaseIO(callee) {
+						ti.tainted[fn] = true
+						return
+					}
+					if _, isModule := ti.moduleFuncs[callee]; isModule {
+						callees[fn] = append(callees[fn], callee)
+					}
+				})
+			}
+		}
+	}
+	// Propagate to a fixpoint: a caller of a tainted module function is
+	// itself tainted.
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if ti.tainted[fn] {
+				continue
+			}
+			for _, c := range cs {
+				if ti.tainted[c] {
+					ti.tainted[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return ti
+}
+
+// walkCalls visits every call expression under n that executes
+// synchronously with the enclosing function: function-literal bodies
+// are included (closures run on behalf of their creator) except when
+// the literal is the operand of a `go` statement.
+func walkCalls(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			// Visit the spawn's arguments (evaluated synchronously)
+			// but neither the spawned call nor a goroutine body.
+			for _, arg := range node.Call.Args {
+				walkCalls(arg, fn)
+			}
+			return false
+		case *ast.CallExpr:
+			fn(node)
+		}
+		return true
+	})
+}
+
+// IsBaseIOCall reports whether the call directly performs network or
+// disk I/O (no transitive reasoning).
+func (pr *Program) IsBaseIOCall(info *types.Info, call *ast.CallExpr) bool {
+	return isBaseIO(calleeOf(info, call))
+}
+
+// IsIOCall reports whether the call performs I/O directly or through a
+// transitively tainted module function.
+func (pr *Program) IsIOCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	return isBaseIO(callee) || pr.taint.tainted[callee]
+}
+
+// IsModuleFunc reports whether fn was declared in one of the loaded
+// packages (as opposed to the standard library).
+func (pr *Program) IsModuleFunc(fn *types.Func) bool {
+	_, ok := pr.taint.moduleFuncs[fn]
+	return ok
+}

@@ -1,0 +1,94 @@
+// Package ctxflow exercises the ctxflow analyzer: I/O functions
+// without a context (rule A), contexts in non-first position, and
+// minted root contexts where a real one is in scope (rule B) are
+// findings; plumbed contexts, request handlers, transport methods, and
+// context-receiving task closures are clean.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"time"
+)
+
+// fetchNoCtx performs network I/O with no context anywhere in its
+// signature: nothing upstream can impose a deadline on it.
+func fetchNoCtx(url string) error { // want `fetchNoCtx calls net/http\.Get but takes no context\.Context`
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// save is the clean module I/O helper: context first, checked.
+func save(ctx context.Context, path string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// persistNoCtx reaches I/O through a context-first module function —
+// rule A triggers on the module call, not just on stdlib primitives.
+func persistNoCtx(path string) error { // want `persistNoCtx calls ctxflow\.save but takes no context\.Context`
+	return save(context.Background(), path, nil)
+}
+
+// reorder buries its context mid-signature.
+func reorder(path string, ctx context.Context) error { // want `reorder takes a context\.Context but not as its first parameter`
+	return save(ctx, path, nil)
+}
+
+// detach has a caller context but mints its own root anyway.
+func detach(ctx context.Context, path string) error {
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background\(\) inside detach, which already has a context`
+	defer cancel()
+	return save(dctx, path, nil)
+}
+
+// fetchCtx is clean: context first, attached to the request.
+func fetchCtx(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handler is clean: the request carries the context.
+func handler(w http.ResponseWriter, r *http.Request) {
+	if err := save(r.Context(), "spool", nil); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+type retryDoer struct{ inner *http.Client }
+
+// Do is clean: transport identities (Do/RoundTrip/ServeHTTP methods)
+// sit at the edge of the context chain.
+func (d retryDoer) Do(req *http.Request) (*http.Response, error) {
+	return d.inner.Do(req)
+}
+
+// submit is clean: the I/O lives in a task closure that receives its
+// own context from whatever pool runs it.
+func submit(queue chan<- func(context.Context)) {
+	queue <- func(ctx context.Context) {
+		_ = save(ctx, "spool", nil)
+	}
+}
+
+var cfgPresent bool
+
+// init is clean: entry points are exempt startup wiring.
+func init() {
+	if _, err := os.Stat("ctxflow.cfg"); err == nil {
+		cfgPresent = true
+	}
+}

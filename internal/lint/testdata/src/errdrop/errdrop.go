@@ -1,0 +1,42 @@
+// Package errdrop exercises the errdrop analyzer: a mutation call used
+// as a bare statement with its error thrown away is a finding; handled
+// returns, explicit `_ =` discards, and error-free calls are clean.
+// The test config lists this package itself as the mutation package.
+package errdrop
+
+import "errors"
+
+type store struct{ m map[string]string }
+
+var errClosed = errors.New("store closed")
+
+// Put mutates the store and can fail.
+func (s *store) Put(k, v string) error {
+	if s.m == nil {
+		return errClosed
+	}
+	s.m[k] = v
+	return nil
+}
+
+// Len is error-free: bare calls to it are fine.
+func (s *store) Len() int { return len(s.m) }
+
+func apply(s *store, k, v string) {
+	s.Put(k, v) // want `error result of \(\*errdrop\.store\)\.Put discarded: handle it or discard explicitly`
+}
+
+// handled is clean: the error is returned.
+func handled(s *store, k, v string) error {
+	return s.Put(k, v)
+}
+
+// explicit is clean: `_ =` is visible in review and greppable.
+func explicit(s *store, k, v string) {
+	_ = s.Put(k, v)
+}
+
+// poke is clean: Len returns no error to drop.
+func poke(s *store) {
+	s.Len()
+}

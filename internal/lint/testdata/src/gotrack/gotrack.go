@@ -1,0 +1,67 @@
+// Package gotrack exercises the gotrack analyzer: anonymous goroutines
+// nothing tracks are findings; WaitGroup discipline, channel-closing
+// producers, one-shot completion sends, and named-function spawns are
+// clean.
+package gotrack
+
+import "sync"
+
+func transform(s string) string { return s + "!" }
+
+// fanout spawns workers nothing waits for — they race shutdown and
+// leak on every early return.
+func fanout(items []string, out chan<- string) {
+	for _, it := range items {
+		go func() { // want `naked goroutine: track it with a WaitGroup`
+			v := transform(it)
+			out <- v
+		}()
+	}
+}
+
+// tracked is clean: WaitGroup discipline.
+func tracked(items []string, out chan<- string) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- transform(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// producer is clean: the first statement ties the goroutine's lifetime
+// to the channel its consumers drain.
+func producer(items []string) <-chan string {
+	out := make(chan string)
+	go func() {
+		defer close(out)
+		for _, it := range items {
+			out <- transform(it)
+		}
+	}()
+	return out
+}
+
+// notify is clean: a single-statement completion signal.
+func notify(errc chan<- error, run func() error) {
+	go func() { errc <- run() }()
+}
+
+// startWorker is clean: a named function is a designed lifecycle entry
+// point whose tracking lives at its definition.
+func startWorker(out chan<- string, stop <-chan struct{}) {
+	go workerLoop(out, stop)
+}
+
+func workerLoop(out chan<- string, stop <-chan struct{}) {
+	for {
+		select {
+		case out <- "tick":
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package ignore exercises directive handling under the nodeterm
+// analyzer: suppression from the same line and the line above, use
+// tallying, a wrong-check directive that suppresses nothing, a stale
+// unused directive, and a malformed directive that is itself a
+// finding. The driver test asserts the exact accounting, so this file
+// carries no `want` comments.
+package ignore
+
+import "time"
+
+// now is suppressed by a directive on the line above.
+func now() time.Time {
+	//mistlint:ignore nodeterm fixture exercises the line-above form
+	return time.Now()
+}
+
+// since is suppressed by an inline directive.
+func since(t time.Time) time.Duration {
+	return time.Since(t) //mistlint:ignore nodeterm fixture exercises the inline form
+}
+
+// sleep is NOT suppressed: the directive names the wrong check.
+func sleep() {
+	//mistlint:ignore lockio wrong check name must not suppress nodeterm
+	time.Sleep(time.Millisecond)
+}
+
+// fixed carries a stale directive with nothing to suppress.
+func fixed() time.Time {
+	//mistlint:ignore nodeterm stale exemption that suppresses nothing
+	return time.Unix(0, 0)
+}
+
+// malformed: a directive without a reason is itself a finding.
+//
+//mistlint:ignore nodeterm
+func alsoFixed() time.Time {
+	return time.Unix(1, 0)
+}

@@ -1,0 +1,62 @@
+// Package lockio exercises the lockio analyzer: network or disk I/O
+// under a held mutex is a finding, directly or transitively through a
+// package function; releasing first or handing off to a goroutine is
+// clean.
+package lockio
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu  sync.RWMutex
+	cli *http.Client
+	m   map[string]string
+}
+
+// persist performs disk I/O; calls to it under a lock must be flagged
+// through the taint propagation, not just direct os calls.
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+func (c *cache) commitHeld(path string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, data, 0o600) // want `os\.WriteFile performs I/O while c\.mu is held`
+}
+
+func (c *cache) commitTransitive(path string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return persist(path, data) // want `lockio\.persist performs I/O while c\.mu is held`
+}
+
+func (c *cache) fetchReadLocked(req *http.Request) (*http.Response, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cli.Do(req) // want `\(\*net/http\.Client\)\.Do performs I/O while c\.mu is held`
+}
+
+// commitReleased is clean: the lock is dropped before the disk write.
+func (c *cache) commitReleased(path string, data []byte) error {
+	c.mu.Lock()
+	data = append(data, '\n')
+	c.mu.Unlock()
+	return os.WriteFile(path, data, 0o600)
+}
+
+// spawnUnderLock is clean: the goroutine body runs off this stack, so
+// the lock is not held across its I/O.
+func (c *cache) spawnUnderLock(path string, data []byte, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[path] = string(data)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = persist(path, data)
+	}()
+}

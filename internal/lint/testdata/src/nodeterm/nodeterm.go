@@ -1,0 +1,36 @@
+// Package nodeterm exercises the nodeterm analyzer: ambient clock and
+// randomness reads are findings; injected clocks, pure time types, and
+// time construction stay clean.
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Epoch stamps a view change from the ambient clock — the exact
+// pattern a deterministic protocol package must not contain.
+func Epoch() time.Time {
+	return time.Now() // want `time\.Now in protocol package nodeterm: route clock access through an injectable Clock`
+}
+
+// Jitter schedules on the wall clock and draws ambient randomness.
+func Jitter(d time.Duration) time.Duration {
+	time.Sleep(d / 2)                           // want `time\.Sleep in protocol package nodeterm`
+	return time.Duration(rand.Int63n(int64(d))) // want `math/rand\.Int63n in protocol package nodeterm: randomness must come from an injected seed`
+}
+
+// Clock is the sanctioned seam: protocol code asks an injected clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// Deadline is clean: time arithmetic on an injected clock.
+func Deadline(c Clock, d time.Duration) time.Time {
+	return c.Now().Add(d)
+}
+
+// Fixed is clean: time.Unix constructs a time, it does not read one.
+func Fixed() time.Time {
+	return time.Unix(0, 0)
+}

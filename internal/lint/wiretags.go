@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// WiretagsAnalyzer checks JSON wire structs for complete, unique tags.
+// The replication and store protocols round-trip structs through
+// encoding/json; an exported field missing its tag still encodes — but
+// under its Go name, silently diverging from the wire contract the
+// moment the field is renamed, and never matching the peer's decoder
+// expectations. The check applies to every struct type in a wire
+// package that already carries at least one json tag (structs with no
+// tags at all are internal value types, not wire types):
+//
+//   - every exported non-embedded field must carry a json tag,
+//   - tag names must be unique within the struct,
+//   - unexported fields must not carry json tags (encoding/json never
+//     emits them; the tag is dead and misleading).
+var WiretagsAnalyzer = &Analyzer{
+	Name: "wiretags",
+	Doc:  "wire structs carry complete, unique json tags",
+	Run:  runWiretags,
+}
+
+func runWiretags(pass *Pass) {
+	if !matchScope(pass.Cfg.WirePkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkWireStruct(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+}
+
+// jsonTag extracts the json struct tag from a field, reporting whether
+// one is present at all.
+func jsonTag(field *ast.Field) (tag string, ok bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+func checkWireStruct(pass *Pass, typeName string, st *ast.StructType) {
+	// Wire structs self-identify: at least one field carries a json tag.
+	isWire := false
+	for _, field := range st.Fields.List {
+		if _, ok := jsonTag(field); ok {
+			isWire = true
+			break
+		}
+	}
+	if !isWire {
+		return
+	}
+	seen := map[string]bool{}
+	for _, field := range st.Fields.List {
+		tag, hasTag := jsonTag(field)
+		wireName, _, _ := strings.Cut(tag, ",")
+		if hasTag && wireName != "" && wireName != "-" {
+			if seen[wireName] {
+				pass.Reportf(field.Pos(),
+					"duplicate json tag %q in wire struct %s: one of these fields silently wins on decode", wireName, typeName)
+			}
+			seen[wireName] = true
+		}
+		if len(field.Names) == 0 {
+			// Embedded fields inline their own tagged fields.
+			continue
+		}
+		for _, name := range field.Names {
+			exported := name.IsExported()
+			switch {
+			case exported && !hasTag:
+				pass.Reportf(name.Pos(),
+					"exported field %s.%s has no json tag: it encodes under its Go name, outside the wire contract", typeName, name.Name)
+			case !exported && hasTag:
+				pass.Reportf(name.Pos(),
+					"unexported field %s.%s carries a json tag but is never encoded: drop the tag or export the field", typeName, name.Name)
+			}
+		}
+	}
+}

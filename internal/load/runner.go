@@ -171,9 +171,15 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 	if opts.Duration <= 0 && opts.MaxOps <= 0 {
 		return nil, fmt.Errorf("load: unbounded run (set Duration or MaxOps)")
 	}
+	// The duration bounds op ADMISSION (the feeder below), not in-flight
+	// completion: ops already handed to a worker finish gracefully after
+	// the deadline, so a timed run ends with drained workers, not a tail
+	// of 504s. The caller's ctx still aborts in-flight requests — that
+	// is the SIGINT/teardown path.
+	admitCtx := ctx
 	if opts.Duration > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Duration)
+		admitCtx, cancel = context.WithTimeout(ctx, opts.Duration)
 		defer cancel()
 	}
 
@@ -199,13 +205,13 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 			op := stream.Next()
 			select {
 			case ops <- op:
-			case <-ctx.Done():
+			case <-admitCtx.Done():
 				return
 			}
 			if pace != nil {
 				select {
 				case <-pace.C:
-				case <-ctx.Done():
+				case <-admitCtx.Done():
 					return
 				}
 			}
@@ -219,7 +225,7 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for op := range ops {
-				runOp(target, opts.BaseURL, op, rec, &tracker, &transport)
+				runOp(ctx, target, opts.BaseURL, op, rec, &tracker, &transport)
 			}
 		}()
 	}
@@ -263,10 +269,11 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// runOp executes one op and records its outcome. Cancel ops with no
-// tracked job degrade to a list (keeps the request count stable without
-// inventing 404 noise).
-func runOp(target Target, baseURL string, op Op, rec *recorder, tracker *jobTracker, transport *metrics.Counter) {
+// runOp executes one op and records its outcome under the run's
+// context, so canceling the run aborts in-flight requests instead of
+// waiting them out. Cancel ops with no tracked job degrade to a list
+// (keeps the request count stable without inventing 404 noise).
+func runOp(ctx context.Context, target Target, baseURL string, op Op, rec *recorder, tracker *jobTracker, transport *metrics.Counter) {
 	var (
 		method = http.MethodPost
 		path   string
@@ -301,7 +308,7 @@ func runOp(target Target, baseURL string, op Op, rec *recorder, tracker *jobTrac
 	if base == "" {
 		base = "http://inproc"
 	}
-	req, err := http.NewRequest(method, base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		transport.Inc()
 		return

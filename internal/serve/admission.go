@@ -192,7 +192,7 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 		if s.cluster != nil {
 			sr.Header().Set(cluster.HeaderServedBy, s.cluster.Self())
 		}
-		if g != nil {
+		if g != nil && !s.admittedUpstream(req) {
 			if err := g.acquire(req.Context()); err != nil {
 				writeError(sr, statusFor(err), err)
 				observe(sr.code, time.Since(start))

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 )
 
@@ -281,5 +282,61 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// A forwarded hop must not queue behind the target node's admission
+// gate: the forwarder holds its own gate slot for the whole hop, so
+// re-admitting the hop is hold-and-wait across nodes, and two nodes
+// forwarding into each other's full gates deadlock permanently. The
+// fleet-wide bound is preserved by the ingress gates; the hop rides
+// the slot already charged there.
+func TestForwardedHopBypassesAdmission(t *testing.T) {
+	lc, err := NewLocalCluster(LocalClusterOptions{
+		Nodes:    2,
+		Replicas: 1,
+		// MaxQueue -1 means no wait queue: a saturated gate refuses at
+		// once, which keeps the direct-request probe below prompt.
+		ServerOptions: []Option{WithLimits(Limits{MaxInflight: 1, MaxQueue: -1})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	// Saturate n1's only /tune slot, as a stuck local request would.
+	srv := lc.Node("n1")
+	srv.tuneGate.slots <- struct{}{}
+	defer func() { <-srv.tuneGate.slots }()
+
+	body := `{"model":"gpt3-1.3b","gpus":2,"batch":8,"space":"deepspeed"}`
+
+	// A direct client request finds the gate full and is refused.
+	direct := httptest.NewRequest(http.MethodPost, "http://n1/tune", strings.NewReader(body))
+	direct.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	lc.Handler("n1").ServeHTTP(rec, direct)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("direct request with full gate: got %d, want 429", rec.Code)
+	}
+
+	// The same request marked as a peer hop executes despite the full
+	// gate instead of blocking on it.
+	fwd := httptest.NewRequest(http.MethodPost, "http://n1/tune", strings.NewReader(body))
+	fwd.Header.Set("Content-Type", "application/json")
+	fwd.Header.Set(cluster.HeaderForwardedBy, "n2")
+	fwdRec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lc.Handler("n1").ServeHTTP(fwdRec, fwd)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("forwarded hop blocked on the saturated admission gate")
+	}
+	if fwdRec.Code != http.StatusOK {
+		t.Fatalf("forwarded hop: got %d (%s), want 200", fwdRec.Code, fwdRec.Body.String())
 	}
 }

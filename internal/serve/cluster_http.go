@@ -71,6 +71,20 @@ func forwarded(req *http.Request) bool {
 	return req.Header.Get(cluster.HeaderForwardedBy) != ""
 }
 
+// admittedUpstream reports whether a request already passed an
+// admission gate on the peer that forwarded it. A forwarded hop is
+// never re-admitted here: the forwarder holds its own gate slot for
+// the whole hop, so queueing the hop behind this node's gate is
+// hold-and-wait across nodes — two nodes forwarding into each other's
+// full gates deadlock permanently (at GOMAXPROCS=1 every gate has two
+// slots, and the elastic drill wedged exactly this way). Admission is
+// charged once, at ingress; fleet-wide inflight stays bounded by the
+// sum of ingress gates, and the marker header is already trusted
+// in-cluster to enforce the single-hop invariant.
+func (s *Server) admittedUpstream(req *http.Request) bool {
+	return s.cluster != nil && forwarded(req)
+}
+
 // proxyKeyed routes a request by its fingerprint key: when a peer is
 // the first healthy replica, the request (body already read) is
 // replayed to it and its response relayed, walking down the replica
@@ -205,6 +219,8 @@ func (s *Server) clusterTune(ctx context.Context, ws WorkloadSpec) (*TuneRespons
 // reachable replica can serve the plan from its own store, which is
 // what makes a node failover lossless. Down peers are skipped (they
 // re-converge by serving store misses as fresh forwards after rejoin).
+//
+//mistlint:ignore ctxflow store OnPut hook: replication is budget-bounded and must complete even if the triggering request dies
 func (s *Server) replicateRecord(rec store.Record) {
 	if s.cluster == nil {
 		return

@@ -58,7 +58,7 @@ func TestClusterJoinMigratesWithoutResearch(t *testing.T) {
 		t.Fatalf("seeding ran %d searches for %d specs", before, len(specs))
 	}
 
-	if _, err := lc.Join("n4"); err != nil {
+	if _, err := lc.Join(context.Background(), "n4"); err != nil {
 		t.Fatal(err)
 	}
 	// The join broadcast is synchronous: every node is on epoch 1 with
@@ -107,7 +107,7 @@ func TestClusterDrainHandsOffWithoutResearch(t *testing.T) {
 	}
 	before := sumTunesRun(lc)
 
-	if err := lc.Drain("n1"); err != nil {
+	if err := lc.Drain(context.Background(), "n1"); err != nil {
 		t.Fatal(err)
 	}
 	if lc.Cluster("n1").InRing() {
@@ -178,7 +178,7 @@ func TestClusterKillThenDrainRestoresReplication(t *testing.T) {
 		}
 	}
 	// Declare the loss permanent: drain the dead member via a survivor.
-	if err := lc.Drain(victim); err != nil {
+	if err := lc.Drain(context.Background(), victim); err != nil {
 		t.Fatal(err)
 	}
 
@@ -222,7 +222,7 @@ func TestClusterJoinDuringFailover(t *testing.T) {
 	if err := lc.Kill("n2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lc.Join("n4"); err != nil {
+	if _, err := lc.Join(context.Background(), "n4"); err != nil {
 		t.Fatal(err)
 	}
 	// Everything still answers through the joined node while the dead
@@ -230,7 +230,7 @@ func TestClusterJoinDuringFailover(t *testing.T) {
 	for _, sp := range specs {
 		tuneOK(t, lc.Handler("n4"), sp)
 	}
-	if err := lc.Drain("n2"); err != nil {
+	if err := lc.Drain(context.Background(), "n2"); err != nil {
 		t.Fatal(err)
 	}
 	settleAndAudit(t, lc)

@@ -171,12 +171,14 @@ func (s *Server) broadcastView(ctx context.Context, v cluster.View, extra []clus
 	if err != nil {
 		return
 	}
+	//mistlint:ignore ctxflow view broadcast must survive the proposer disconnecting; budget-bounded below
 	bctx, cancel := context.WithTimeout(context.Background(), broadcastBudget)
 	defer cancel()
 	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < broadcastBudget {
 		// Honor a tighter request deadline, but never inherit its
 		// cancellation: the broadcast must finish even if the proposer's
 		// client disconnects right after the response.
+		//mistlint:ignore ctxflow deliberately adopts only the request deadline, never its cancellation
 		bctx, cancel = context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 	}

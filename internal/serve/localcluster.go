@@ -214,8 +214,9 @@ func (lc *LocalCluster) deadNode(id string) bool {
 // — the in-process mirror of `mistserve -join`. The new node's handler
 // is registered on the switchboard BEFORE the join is proposed, so the
 // seed's view broadcast reaches it the same way it would a listening
-// process. Returns the new node's server.
-func (lc *LocalCluster) Join(id string) (*Server, error) {
+// process. The context bounds the join proposal round-trip. Returns
+// the new node's server.
+func (lc *LocalCluster) Join(ctx context.Context, id string) (*Server, error) {
 	if id == "" {
 		return nil, fmt.Errorf("localcluster: join needs a node id")
 	}
@@ -240,7 +241,7 @@ func (lc *LocalCluster) Join(id string) (*Server, error) {
 	if err != nil {
 		return fail(err)
 	}
-	view, err := cluster.JoinVia(context.Background(), lc.sb, seed.Addr, self)
+	view, err := cluster.JoinVia(ctx, lc.sb, seed.Addr, self)
 	if err != nil {
 		return fail(err)
 	}
@@ -286,8 +287,9 @@ func (lc *LocalCluster) removeNode(id string) {
 // Drain removes a member from the ring gracefully by POSTing
 // /cluster/drain through a live member. The drained node keeps
 // serving (forwarding into the ring) and hands its records off on the
-// next repair pass; Settle drives that deterministically.
-func (lc *LocalCluster) Drain(id string) error {
+// next repair pass; Settle drives that deterministically. The context
+// bounds the drain proposal round-trip.
+func (lc *LocalCluster) Drain(ctx context.Context, id string) error {
 	lc.mu.RLock()
 	_, known := lc.servers[id]
 	lc.mu.RUnlock()
@@ -302,7 +304,7 @@ func (lc *LocalCluster) Drain(id string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, seed.Addr+"/cluster/drain", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, seed.Addr+"/cluster/drain", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

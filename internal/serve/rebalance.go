@@ -133,6 +133,7 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 	if s.cluster == nil || s.store == nil {
 		return rep, nil
 	}
+	//mistlint:ignore lockio rbRunMu exists to serialize repair passes; it orders I/O rather than guarding state shared with request paths
 	s.rbRunMu.Lock()
 	defer s.rbRunMu.Unlock()
 

@@ -845,6 +845,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 		return err // bind failure or unexpected server exit
 	case <-ctx.Done():
 	}
+	// The serve context is already done here; the grace period needs a
+	// root ancestor or Shutdown would return before draining anything.
+	//mistlint:ignore ctxflow graceful drain runs after the serve context is canceled
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)

@@ -79,8 +79,20 @@ type Record struct {
 // Store is a concurrency-safe plan store. With a backing directory every
 // Put is written through to disk; with none (InMemory) it degrades to a
 // process-local index with identical semantics.
+//
+// Two locks split the write path from the read path: wmu serializes
+// writers end to end — version assignment, the atomic document write
+// (temp file + fsync + rename), and the index update — while mu guards
+// only the in-memory index. Readers on the tune hot path therefore
+// never wait on disk: a Get during a concurrent Put returns the old
+// record until the new document is durably on disk and installed.
 type Store struct {
 	dir string
+
+	// wmu is the writer-serialization lock: held across the disk commit
+	// by design, so concurrent Puts cannot interleave temp files and
+	// version bumps. Never taken by readers.
+	wmu sync.Mutex
 
 	mu   sync.RWMutex
 	recs map[string]Record
@@ -197,9 +209,13 @@ func (s *Store) GetByKey(key string) (Record, bool) {
 func (s *Store) Delete(f Fingerprint) error {
 	f = f.canonical()
 	key := f.Key()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.recs[key]; !ok {
+	//mistlint:ignore lockio wmu is the writer-serialization lock; it exists to order disk commits and never blocks readers
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.RLock()
+	_, ok := s.recs[key]
+	s.mu.RUnlock()
+	if !ok {
 		return nil
 	}
 	if s.dir != "" {
@@ -207,7 +223,9 @@ func (s *Store) Delete(f Fingerprint) error {
 			return fmt.Errorf("store: deleting %s: %w", key, err)
 		}
 	}
+	s.mu.Lock()
 	delete(s.recs, key)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -230,20 +248,25 @@ func (s *Store) Put(rec Record) (Record, error) {
 	rec.Fingerprint = rec.Fingerprint.canonical()
 	key := rec.Fingerprint.Key()
 
-	s.mu.Lock()
+	//mistlint:ignore lockio wmu is the writer-serialization lock; it exists to order disk commits and never blocks readers
+	s.wmu.Lock()
+	s.mu.RLock()
 	rec.Version = s.recs[key].Version + 1
+	hook := s.onPut
+	s.mu.RUnlock()
 	rec.UpdatedAt = time.Now().UTC()
 	if s.dir != "" {
-		if err := s.writeLocked(key, rec); err != nil {
-			s.mu.Unlock()
+		if err := s.writeDoc(key, rec); err != nil {
+			s.wmu.Unlock()
 			return Record{}, err
 		}
 	}
+	s.mu.Lock()
 	s.recs[key] = rec
-	hook := s.onPut
 	s.mu.Unlock()
-	// The hook runs outside the lock: replication does network work and
-	// must not serialize against concurrent reads and writes.
+	s.wmu.Unlock()
+	// The hook runs outside both locks: replication does network work
+	// and must not serialize against concurrent reads and writes.
 	if hook != nil {
 		hook(rec)
 	}
@@ -264,25 +287,32 @@ func (s *Store) Apply(rec Record) (bool, error) {
 	rec.Fingerprint = rec.Fingerprint.canonical()
 	key := rec.Fingerprint.Key()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cur, ok := s.recs[key]; ok && cur.Version >= rec.Version {
+	//mistlint:ignore lockio wmu is the writer-serialization lock; it exists to order disk commits and never blocks readers
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.RLock()
+	cur, ok := s.recs[key]
+	s.mu.RUnlock()
+	if ok && cur.Version >= rec.Version {
 		return false, nil
 	}
 	if s.dir != "" {
-		if err := s.writeLocked(key, rec); err != nil {
+		if err := s.writeDoc(key, rec); err != nil {
 			return false, err
 		}
 	}
+	s.mu.Lock()
 	s.recs[key] = rec
+	s.mu.Unlock()
 	return true, nil
 }
 
-// writeLocked persists one record atomically: marshal to a temp file in
+// writeDoc persists one record atomically: marshal to a temp file in
 // the store directory, fsync, then rename over the final name. A crash
 // mid-write leaves either the old document or a stray temp file (ignored
-// at load), never a torn record.
-func (s *Store) writeLocked(key string, rec Record) error {
+// at load), never a torn record. Callers hold wmu (writers are
+// serialized); the index lock mu is deliberately NOT held here.
+func (s *Store) writeDoc(key string, rec Record) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshaling %s: %w", key, err)

@@ -21,7 +21,10 @@
 // The command exits non-zero when any shared benchmark's ns/op
 // regressed beyond the tolerance (new > old × (1+tolerance)), or when
 // the two files share no benchmarks at all — a gate that compares
-// nothing must not pass.
+// nothing must not pass. When both sides of a pair carry an allocs/op
+// metric (-benchmem), that dimension is gated under the same tolerance
+// — an allocation crept into a hot path is a regression even when the
+// wall-clock noise hides it.
 package main
 
 import (
@@ -61,7 +64,7 @@ func main() {
 	log.SetPrefix("bench2json: ")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	compare := flag.String("compare", "", "compare this baseline report against the report named by the positional argument")
-	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed fractional ns/op growth before a benchmark counts as regressed")
+	tolerance := flag.Float64("tolerance", 0.25, "with -compare: allowed fractional ns/op (and allocs/op) growth before a benchmark counts as regressed")
 	flag.Parse()
 
 	if *compare != "" {
@@ -166,6 +169,13 @@ type comparison struct {
 	NewNs     float64
 	Ratio     float64 // new / old
 	Regressed bool
+	// The allocs/op dimension, gated only when both reports carry the
+	// metric (old baselines predating -benchmem stay ns/op-only).
+	HasAllocs      bool
+	OldAllocs      float64
+	NewAllocs      float64
+	AllocRatio     float64 // new / old; 0 when the old side is zero
+	AllocRegressed bool
 }
 
 // compareReports pairs the two reports' benchmarks and flags every
@@ -190,6 +200,21 @@ func compareReports(old, new Report, tolerance float64) (shared []comparison, on
 		if ob.NsPerOp > 0 {
 			c.Ratio = b.NsPerOp / ob.NsPerOp
 			c.Regressed = c.Ratio > 1+tolerance
+		}
+		oldAllocs, okOld := ob.Metrics["allocs/op"]
+		newAllocs, okNew := b.Metrics["allocs/op"]
+		if okOld && okNew {
+			c.HasAllocs = true
+			c.OldAllocs, c.NewAllocs = oldAllocs, newAllocs
+			switch {
+			case oldAllocs > 0:
+				c.AllocRatio = newAllocs / oldAllocs
+				c.AllocRegressed = c.AllocRatio > 1+tolerance
+			case newAllocs > 0:
+				// A zero-alloc baseline that now allocates exceeds any
+				// finite tolerance.
+				c.AllocRegressed = true
+			}
 		}
 		shared = append(shared, c)
 	}
@@ -240,10 +265,24 @@ func runCompare(oldPath, newPath string, tolerance float64) {
 		verdict := "ok"
 		if c.Regressed {
 			verdict = "REGRESSED"
-			regressions++
 		}
 		fmt.Printf("%-60s %14.0f ns/op -> %14.0f ns/op  %+6.1f%%  %s\n",
 			c.Key, c.OldNs, c.NewNs, (c.Ratio-1)*100, verdict)
+		if c.HasAllocs {
+			av := "ok"
+			if c.AllocRegressed {
+				av = "REGRESSED"
+			}
+			pct := "     n/a"
+			if c.AllocRatio > 0 {
+				pct = fmt.Sprintf("%+7.1f%%", (c.AllocRatio-1)*100)
+			}
+			fmt.Printf("%-60s %10.0f allocs/op -> %10.0f allocs/op  %s  %s\n",
+				c.Key, c.OldAllocs, c.NewAllocs, pct, av)
+		}
+		if c.Regressed || c.AllocRegressed {
+			regressions++
+		}
 	}
 	for _, k := range onlyOld {
 		fmt.Printf("%-60s only in %s (removed or renamed — not gated)\n", k, oldPath)
@@ -252,7 +291,7 @@ func runCompare(oldPath, newPath string, tolerance float64) {
 		fmt.Printf("%-60s only in %s (new — no baseline yet)\n", k, newPath)
 	}
 	if regressions > 0 {
-		log.Fatalf("%d of %d shared benchmarks regressed beyond %.0f%% tolerance", regressions, len(shared), tolerance*100)
+		log.Fatalf("%d of %d shared benchmarks regressed beyond %.0f%% tolerance (ns/op or allocs/op)", regressions, len(shared), tolerance*100)
 	}
 	fmt.Printf("bench-regression: %d shared benchmarks within %.0f%% tolerance\n", len(shared), tolerance*100)
 }

@@ -90,3 +90,45 @@ func TestCompareReports(t *testing.T) {
 		t.Errorf("zero-tolerance growth not flagged: %+v", sh[0])
 	}
 }
+
+// allocs/op is a gated dimension with the same tolerance semantics as
+// ns/op, active only when both sides carry the metric.
+func TestCompareReportsAllocs(t *testing.T) {
+	withAllocs := func(ns, allocs float64) Benchmark {
+		return Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: ns,
+			Metrics: map[string]float64{"allocs/op": allocs}}
+	}
+
+	// Within tolerance: 8 -> 10 allocs is exactly +25%.
+	sh, _, _ := compareReports(rep(withAllocs(1000, 8)), rep(withAllocs(1000, 10)), 0.25)
+	c := sh[0]
+	if !c.HasAllocs || c.OldAllocs != 8 || c.NewAllocs != 10 {
+		t.Fatalf("allocs not compared: %+v", c)
+	}
+	if c.AllocRegressed || c.Regressed {
+		t.Errorf("+25%% allocs at 0.25 tolerance flagged: %+v", c)
+	}
+
+	// Beyond tolerance: allocs regress while ns/op stays flat.
+	sh, _, _ = compareReports(rep(withAllocs(1000, 8)), rep(withAllocs(1000, 11)), 0.25)
+	if !sh[0].AllocRegressed || sh[0].Regressed {
+		t.Errorf("allocs regression not flagged independently of ns/op: %+v", sh[0])
+	}
+
+	// A zero-alloc baseline that now allocates always regresses.
+	sh, _, _ = compareReports(rep(withAllocs(1000, 0)), rep(withAllocs(1000, 1)), 0.25)
+	if !sh[0].AllocRegressed {
+		t.Errorf("0 -> 1 allocs not flagged: %+v", sh[0])
+	}
+	sh, _, _ = compareReports(rep(withAllocs(1000, 0)), rep(withAllocs(1000, 0)), 0.25)
+	if sh[0].AllocRegressed {
+		t.Errorf("0 -> 0 allocs flagged: %+v", sh[0])
+	}
+
+	// A baseline without -benchmem data leaves the dimension ungated.
+	sh, _, _ = compareReports(rep(Benchmark{Package: "p", Name: "BenchmarkA", NsPerOp: 1000}),
+		rep(withAllocs(1000, 50)), 0.25)
+	if sh[0].HasAllocs || sh[0].AllocRegressed {
+		t.Errorf("allocs gated with no baseline metric: %+v", sh[0])
+	}
+}
