@@ -40,8 +40,8 @@ fuzz: ## fuzz smoke: HTTP JSON decode paths must 400 cleanly, never panic or 5xx
 	$(GO) test -fuzz=FuzzTuneRequest -fuzztime=10s ./internal/serve
 	$(GO) test -fuzz=FuzzJobSubmit -fuzztime=10s ./internal/serve
 
-load-smoke: ## 5-second in-process mixed-scenario load replay; fails on any 5xx
-	$(GO) run ./cmd/mistload -scenario mixed -inproc -duration 5s -seed 1 -concurrency 4
+load-smoke: ## 5-second in-process mixed-scenario load replay, traced at 100%; fails on any 5xx, rootless op, or unfinished span
+	$(GO) run ./cmd/mistload -scenario mixed -inproc -duration 5s -seed 1 -concurrency 4 -trace-sample 1
 
 cluster-smoke: ## 3-node in-process cluster: mixed replay, then a failover drill with a mid-run node kill; fails on any 5xx
 	$(GO) run ./cmd/mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1 -concurrency 4
@@ -53,15 +53,17 @@ elastic-smoke: ## 3-node cluster with a mid-run join and drain; fails on any 5xx
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
-bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortization
+bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortization, tracing overhead
 	$(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x .
 	$(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
+	$(GO) test -run xxx -bench 'BenchmarkTraceOverhead' ./internal/trace
 
 bench-json: ## run the bench set and record a machine-readable trajectory point at $(BENCH_OUT)
 	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x -benchmem ./internal/core ; \
-	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x -benchmem ./internal/serve ) \
+	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x -benchmem ./internal/serve ; \
+	  $(GO) test -run xxx -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace ) \
 	| $(GO) run ./tools/bench2json -out $(BENCH_OUT)
 
 bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op or allocs/op growth

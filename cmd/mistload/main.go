@@ -32,6 +32,7 @@
 //
 //	mistload -scenario mixed -inproc -duration 5s -seed 1
 //	mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1
+//	mistload -scenario mixed -inproc -nodes 3 -duration 5s -trace-sample 1
 //	mistload -scenario failover -inproc -nodes 3 -duration 6s -kill n2@3s
 //	mistload -scenario elastic -inproc -nodes 3 -duration 7s -join n4@2s -drain n1@4s
 //	mistload -scenario cold-storm -addr http://localhost:8080 -duration 30s -rate 50
@@ -39,8 +40,10 @@
 //	mistload -list
 //
 // Exit status: 0 on a clean run; 1 when the run saw server 5xx or
-// transport errors (pass -allow-5xx to report them without failing), or
-// when the post-drill replication audit found a violation.
+// transport errors (pass -allow-5xx to report them without failing),
+// when the post-drill replication audit found a violation, or when a
+// -trace-sample run's span audit failed (a sampled op that published
+// no root span, or a span left unfinished after the job tail drained).
 package main
 
 import (
@@ -58,6 +61,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -82,6 +86,8 @@ func main() {
 		workers     = flag.Int("workers", 2, "in-process server job workers")
 		out         = flag.String("out", "", "also write the JSON report to this file")
 		allow5xx    = flag.Bool("allow-5xx", false, "do not fail the run on server 5xx responses")
+		traceSample = flag.Int("trace-sample", 0, "stamp X-Mist-Trace on every Nth op, then audit spans and report per-phase latency (0: off; 1: every op)")
+		traceSettle = flag.Duration("trace-settle", 2*time.Minute, "how long the trace audit waits for open spans (queued job tails) to drain")
 		list        = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
@@ -132,10 +138,23 @@ func main() {
 		Duration:    *duration,
 		MaxOps:      *maxOps,
 		BaseURL:     *addr,
+		TraceSample: *traceSample,
+	}
+	// In-process servers only record traces when built with a recorder;
+	// a ring well past the default keeps the phase breakdown complete
+	// for short sampled runs.
+	var serverTraceOpts []serve.Option
+	if *traceSample > 0 {
+		serverTraceOpts = append(serverTraceOpts, serve.WithTrace(trace.Options{Capacity: 4096}))
 	}
 	var (
-		target  load.Target
-		auditLC *serve.LocalCluster // set for elastic (join/drain) drills
+		target load.Target
+		// traceTargets are the per-node /debug/traces endpoints the trace
+		// audit folds; nil skips the audit (a killed node's recorder dies
+		// with it, taking its counters along).
+		traceTargets []load.Target
+		traceLC      *serve.LocalCluster // in-proc cluster: re-list nodes post-run (a -join adds one)
+		auditLC      *serve.LocalCluster // set for elastic (join/drain) drills
 		// The exactly-R audit is only sound when every dead node's loss
 		// has been declared: a killed member still in the ring keeps its
 		// replica slots, so its keys legitimately sit at R-1 live copies
@@ -145,12 +164,13 @@ func main() {
 	)
 	switch {
 	case *addr == "" && *nodes <= 1:
-		s := serve.New(
+		s := serve.New(append([]serve.Option{
 			serve.WithJobWorkers(*workers),
 			serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
-		)
+		}, serverTraceOpts...)...)
 		defer s.Close()
 		target = load.NewHandlerTarget(s.Handler())
+		traceTargets = []load.Target{target}
 		log.Printf("replaying %q in-process (seed %d, %v, %d workers)",
 			*scenario, *seed, *duration, *concurrency)
 	case *addr == "":
@@ -161,10 +181,10 @@ func main() {
 			// Background repair keeps migration overlapping the drill
 			// itself; the post-run Settle only finishes the tail.
 			RebalanceInterval: 500 * time.Millisecond,
-			ServerOptions: []serve.Option{
+			ServerOptions: append([]serve.Option{
 				serve.WithJobWorkers(*workers),
 				serve.WithLimits(serve.Limits{MaxQueue: *maxQueue, RequestTimeout: *reqTimeout}),
-			},
+			}, serverTraceOpts...),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -175,6 +195,7 @@ func main() {
 		for i, id := range ids {
 			perNode[i] = load.NewHandlerTarget(lc.Handler(id))
 		}
+		traceLC = lc
 		mt, err := load.NewMultiTarget(perNode...)
 		if err != nil {
 			log.Fatal(err)
@@ -238,18 +259,17 @@ func main() {
 	default:
 		addrs := strings.Split(*addr, ",")
 		client := &http.Client{Timeout: 2 * time.Minute}
+		for _, a := range addrs {
+			t, err := load.WithBase(client, strings.TrimSpace(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			traceTargets = append(traceTargets, t)
+		}
 		if len(addrs) == 1 {
 			target = client
 		} else {
-			perNode := make([]load.Target, 0, len(addrs))
-			for _, a := range addrs {
-				t, err := load.WithBase(client, strings.TrimSpace(a))
-				if err != nil {
-					log.Fatal(err)
-				}
-				perNode = append(perNode, t)
-			}
-			mt, err := load.NewMultiTarget(perNode...)
+			mt, err := load.NewMultiTarget(traceTargets...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -266,6 +286,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var traceAuditErr error
+	if *traceSample > 0 {
+		if traceLC != nil {
+			// Re-list the cluster: a -join drill added a node (and a
+			// recorder) after the targets were first built.
+			traceTargets = traceTargets[:0]
+			for _, id := range traceLC.IDs() {
+				traceTargets = append(traceTargets, load.NewHandlerTarget(traceLC.Handler(id)))
+			}
+		}
+		switch {
+		case *kill != "":
+			log.Printf("skipping the trace audit: a killed node's recorder (and its span counters) died with it")
+		case len(traceTargets) == 0:
+			log.Printf("skipping the trace audit: no per-node debug targets")
+		default:
+			settleCtx, cancel := context.WithTimeout(context.Background(), *traceSettle)
+			audit, phases, aerr := load.AuditTraces(settleCtx, traceTargets, rep.TracedOps)
+			cancel()
+			rep.TraceAudit = audit
+			rep.Phases = phases
+			traceAuditErr = aerr
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -275,6 +319,9 @@ func main() {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if traceAuditErr != nil {
+		log.Fatalf("FAIL: %v", traceAuditErr)
 	}
 	if rep.TransportErrors > 0 {
 		log.Fatalf("FAIL: %d transport errors", rep.TransportErrors)

@@ -42,6 +42,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served at -debug-addr
 	"os/signal"
 	"syscall"
 	"time"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -63,6 +65,10 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "concurrently executing requests per endpoint class (0: GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "admission wait-queue and async job-queue bound; overflow answers 429 (0: default 256)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline, propagated into running searches (0: none)")
+
+		traceRing   = flag.Int("trace-ring", 256, "completed-trace ring capacity (GET /debug/traces)")
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth operation (1: all, 0: only requests arriving with X-Mist-Trace)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 
 		nodeID    = flag.String("node-id", "", "cluster mode: this node's id (must appear in -peers, or pair with -join)")
 		peers     = flag.String("peers", "", "cluster mode: full static membership as id=addr,id=addr (self included)")
@@ -86,6 +92,14 @@ func main() {
 			MaxInflight:    *maxInflight,
 			MaxQueue:       *maxQueue,
 			RequestTimeout: *reqTimeout,
+		}),
+		// The recorder is always attached: with -trace-sample 0 it only
+		// records requests that arrive carrying X-Mist-Trace (a client or
+		// upstream hop decided to trace), which is the near-free path.
+		serve.WithTrace(trace.Options{
+			Node:        *nodeID,
+			Capacity:    *traceRing,
+			SampleEvery: *traceSample,
 		}),
 	}
 	if *peers != "" && *joinPeer != "" {
@@ -220,7 +234,15 @@ func main() {
 		// replicates from its peers.
 		s.StartRebalancer(*rebalIvl)
 	}
-	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /healthz /stats /metrics)", *addr)
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug server on %s (GET /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /cluster/events /healthz /stats /metrics /debug/traces)", *addr)
 	err := s.ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

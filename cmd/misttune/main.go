@@ -187,7 +187,7 @@ func runBatch(file, storeDir string, workers int) error {
 	}
 	subs := make([]submitted, 0, len(specs))
 	for i, spec := range specs {
-		st, err := srv.SubmitJob(spec)
+		st, err := srv.SubmitJob(context.Background(), spec)
 		if err != nil {
 			return fmt.Errorf("spec %d: %w", i, err)
 		}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Wire headers of the cluster tier.
@@ -75,6 +77,7 @@ type Cluster struct {
 	vnodes   int
 	client   Doer
 	checker  *Checker
+	events   *EventLog
 
 	vmu          sync.RWMutex
 	view         View
@@ -129,6 +132,20 @@ func New(cfg Config) (*Cluster, error) {
 		checker:  NewChecker(cfg.Self, cfg.Members, client, cfg.ProbeTimeout, downAfter),
 	}
 	c.checker.SetClock(cfg.Clock)
+	c.events = NewEventLog(cfg.Self, 0, cfg.Clock)
+	// Health transitions land on the timeline as this node's local
+	// observations (nodes may transiently disagree, and that disagreement
+	// is itself worth seeing).
+	c.checker.SetOnTransition(func(id string, from, to Health) {
+		typ := EventMemberOk
+		switch to {
+		case Suspect:
+			typ = EventMemberSuspect
+		case Down:
+			typ = EventMemberDown
+		}
+		c.events.Append(typ, id, c.Epoch(), "was "+from.String())
+	})
 	c.view = boot.Clone()
 	c.viewFp = c.view.Fingerprint()
 	c.members = map[string]Member{}
@@ -249,6 +266,17 @@ func (c *Cluster) Health(id string) Health { return c.checker.Status(id) }
 // transports, deterministic probing in tests).
 func (c *Cluster) Checker() *Checker { return c.checker }
 
+// Events returns retained timeline events with Seq > since, oldest
+// first — the GET /cluster/events surface.
+func (c *Cluster) Events(since int64) []Event { return c.events.Events(since) }
+
+// RecordEvent appends an event to this node's cluster timeline under
+// the current epoch — the serving layer's hook for rebalance pass
+// events, which happen above this package.
+func (c *Cluster) RecordEvent(typ, member, detail string) {
+	c.events.Append(typ, member, c.Epoch(), detail)
+}
+
 // SetOnViewChange installs a hook fired (outside all cluster locks)
 // after every adopted membership change — the serving layer hangs its
 // rebalancer kick here. Install before Start; one hook at a time.
@@ -323,6 +351,8 @@ func (c *Cluster) AdoptView(v View) (bool, error) {
 	}
 	adopted := c.view
 	c.vmu.Unlock()
+	c.events.Append(EventEpochAdopted, "", adopted.Epoch,
+		fmt.Sprintf("announced view, %d members", len(adopted.Members)))
 	c.fireViewChange(adopted)
 	return true, nil
 }
@@ -356,6 +386,8 @@ func (c *Cluster) ProposeJoin(m Member) (View, bool, error) {
 	}
 	adopted := c.view
 	c.vmu.Unlock()
+	c.events.Append(EventEpochAdopted, m.ID, adopted.Epoch,
+		fmt.Sprintf("join, %d members", len(adopted.Members)))
 	c.fireViewChange(adopted)
 	return adopted.Clone(), true, nil
 }
@@ -386,6 +418,8 @@ func (c *Cluster) ProposeDrain(id string) (View, bool, error) {
 	}
 	adopted := c.view
 	c.vmu.Unlock()
+	c.events.Append(EventEpochAdopted, id, adopted.Epoch,
+		fmt.Sprintf("drain, %d members", len(adopted.Members)))
 	c.fireViewChange(adopted)
 	return adopted.Clone(), true, nil
 }
@@ -538,6 +572,9 @@ func (c *Cluster) Forward(ctx context.Context, m Member, method, path, requestID
 	if requestID != "" {
 		req.Header.Set(HeaderRequestID, requestID)
 	}
+	// Trace context rides the same hop: the receiving node's root span
+	// joins the sender's trace under the sender's active span.
+	trace.Inject(ctx, req.Header)
 	req.Header.Set(HeaderForwardedBy, c.self)
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -58,11 +58,12 @@ type Checker struct {
 	downAfter int
 	clock     Clock
 
-	mu      sync.Mutex
-	fails   map[string]int // consecutive failures by peer id
-	addrs   map[string]string
-	epochs  map[string]int64 // last view epoch seen in a probe reply
-	onEpoch func(ctx context.Context, id string, epoch int64, fp uint64)
+	mu           sync.Mutex
+	fails        map[string]int // consecutive failures by peer id
+	addrs        map[string]string
+	epochs       map[string]int64 // last view epoch seen in a probe reply
+	onEpoch      func(ctx context.Context, id string, epoch int64, fp uint64)
+	onTransition func(id string, from, to Health)
 }
 
 // NewChecker builds a checker over the peer set (self is always Ok and
@@ -128,6 +129,28 @@ func (c *Checker) SetOnPeerEpoch(fn func(ctx context.Context, id string, epoch i
 	c.mu.Unlock()
 }
 
+// SetOnTransition installs the hook invoked (outside the checker lock)
+// whenever a peer's derived health state changes — the cluster event
+// timeline hangs here. One hook at a time; install before traffic.
+func (c *Checker) SetOnTransition(fn func(id string, from, to Health)) {
+	c.mu.Lock()
+	c.onTransition = fn
+	c.mu.Unlock()
+}
+
+// statusLocked derives a peer's health from its failure count; caller
+// holds mu.
+func (c *Checker) statusLocked(id string) Health {
+	switch f := c.fails[id]; {
+	case f == 0:
+		return Ok
+	case f < c.downAfter:
+		return Suspect
+	default:
+		return Down
+	}
+}
+
 // SetClock injects the protocol clock (default SystemClock); the
 // deterministic simulation harness substitutes a virtual one. Set
 // before the prober starts.
@@ -152,14 +175,7 @@ func (c *Checker) Status(id string) Health {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	switch f := c.fails[id]; {
-	case f == 0:
-		return Ok
-	case f < c.downAfter:
-		return Suspect
-	default:
-		return Down
-	}
+	return c.statusLocked(id)
 }
 
 // ReportSuccess records a successful interaction with a peer, resetting
@@ -169,8 +185,14 @@ func (c *Checker) ReportSuccess(id string) {
 		return
 	}
 	c.mu.Lock()
+	from := c.statusLocked(id)
 	c.fails[id] = 0
+	to := c.statusLocked(id)
+	fn := c.onTransition
 	c.mu.Unlock()
+	if fn != nil && from != to {
+		fn(id, from, to)
+	}
 }
 
 // ReportFailure records a failed interaction with a peer (transport
@@ -180,10 +202,16 @@ func (c *Checker) ReportFailure(id string) {
 		return
 	}
 	c.mu.Lock()
+	from := c.statusLocked(id)
 	if c.fails[id] < c.downAfter {
 		c.fails[id]++
 	}
+	to := c.statusLocked(id)
+	fn := c.onTransition
 	c.mu.Unlock()
+	if fn != nil && from != to {
+		fn(id, from, to)
+	}
 }
 
 // recordEpoch stores a probed peer's announced epoch and returns the

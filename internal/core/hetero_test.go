@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/hardware"
@@ -64,7 +65,7 @@ func TestHeteroDPDeviceConstraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, _, err := tn.tuneSG(3, 4, 0)
+	sol, _, err := tn.tuneSG(context.Background(), 3, 4, 0)
 	if err != nil {
 		t.Skipf("S=3 infeasible on this workload: %v", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/opdb"
 	"repro/internal/plan"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 )
 
 // Tuner is Mist's automatic distributed-training optimizer for one
@@ -192,7 +193,10 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 	t.warmSeed, t.warmBound = nil, 0
 	t.warmPruned.Store(0)
 	t.warmAborted.Store(0)
+	_, wsp := trace.StartSpan(ctx, "warm-adapt")
 	seed := t.prepareWarm()
+	wsp.Annotate("warmStarted", seed != nil)
+	wsp.End()
 	if seed != nil {
 		t.warmSeed = seed
 		t.warmBound = seed.objective
@@ -223,6 +227,12 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// The sweep span covers the whole concurrent (S, G) fan-out; each
+	// pair gets its own child span (with intra-sweep / inter-stage
+	// children inside tuneSG). Pair spans of concurrent workers overlap
+	// by construction, so latency attribution reads the sweep span's
+	// duration and treats children as a utilization breakdown.
+	swctx, swsp := trace.StartSpan(ctx, "sweep")
 	jobs := make(chan sg)
 	results := make(chan outcome)
 	var wg sync.WaitGroup
@@ -235,10 +245,16 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 					results <- outcome{s: p.s, g: p.g}
 					continue
 				}
-				sol, nEval, err := t.tuneSG(p.s, p.g, p.devPer)
+				pctx, psp := trace.StartSpan(swctx, "sg")
+				psp.Annotate("s", p.s)
+				psp.Annotate("g", p.g)
+				sol, nEval, err := t.tuneSG(pctx, p.s, p.g, p.devPer)
 				if err != nil {
 					sol = nil // infeasible (S, G): OOM or no factorization
+					psp.Annotate("infeasible", true)
 				}
+				psp.Annotate("evals", nEval)
+				psp.End()
 				results <- outcome{sol: sol, s: p.s, g: p.g, nEval: nEval}
 			}
 		}()
@@ -267,10 +283,6 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 			best = &found{sol: o.sol, s: o.s, g: o.g}
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Elapsed = time.Since(start)
 	res.WarmPruned = int(t.warmPruned.Load())
 	res.WarmAbortedPairs = int(t.warmAborted.Load())
 	if t.cache != nil && !t.NoCache {
@@ -278,6 +290,17 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 		res.EvalCacheHits = after.Hits - cacheBefore.Hits
 		res.EvalCacheMisses = after.Misses - cacheBefore.Misses
 	}
+	swsp.Annotate("pairs", res.SGPairs)
+	swsp.Annotate("candidates", res.Candidates)
+	swsp.Annotate("evalCacheHits", res.EvalCacheHits)
+	swsp.Annotate("evalCacheMisses", res.EvalCacheMisses)
+	swsp.Annotate("warmPruned", res.WarmPruned)
+	swsp.Annotate("warmAbortedPairs", res.WarmAbortedPairs)
+	swsp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
 	if seed != nil && (best == nil || best.sol.Objective > seed.objective) {
 		// The (pruned) search failed to beat the seed: the seed itself is
 		// the answer, so a warm start never regresses below its neighbor.
@@ -303,46 +326,57 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 }
 
 // tuneSG runs intra-stage tuning + inter-stage selection for one
-// (pipeline depth, gradient accumulation) pair.
-func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
+// (pipeline depth, gradient accumulation) pair. ctx carries the pair's
+// trace span (when tracing is on); cancellation still flows through
+// t.tuneCtx as before.
+func (t *Tuner) tuneSG(ctx context.Context, s, g, devPer int) (*interSolution, int, error) {
 	if t.Space.UniformStages {
 		return t.tuneUniform(s, g, devPer)
 	}
 	if t.Space.HeterogeneousDevices && s > 1 {
-		return t.tuneSGHetero(s, g)
+		return t.tuneSGHetero(ctx, s, g)
 	}
 	evaluated := 0
 	cands := make([][]candidate, s)
-	var pb pairBound
-	for i := 0; i < s; i++ {
-		if err := t.ctxErr(); err != nil {
-			return nil, evaluated, err
-		}
-		var stageC []candidate
-		for _, l := range t.layerRange(s, i) {
-			cs, n, err := t.intraStage(s, g, i, devPer, l)
-			evaluated += n
-			if err != nil {
-				return nil, evaluated, err
+	_, isp := trace.StartSpan(ctx, "intra-sweep")
+	err := func() error {
+		var pb pairBound
+		for i := 0; i < s; i++ {
+			if err := t.ctxErr(); err != nil {
+				return err
 			}
-			stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+			var stageC []candidate
+			for _, l := range t.layerRange(s, i) {
+				cs, n, err := t.intraStage(s, g, i, devPer, l)
+				evaluated += n
+				if err != nil {
+					return err
+				}
+				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+			}
+			stageC = t.injectSeed(stageC, s, g, i)
+			if len(stageC) == 0 {
+				return fmt.Errorf("core: stage %d infeasible for S=%d G=%d", i, s, g)
+			}
+			stageC = t.pruneByBound(stageC, g)
+			if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+				// Every surviving combination of this pair is provably no
+				// better than the warm seed: stop before pricing the
+				// remaining stages.
+				t.warmAborted.Add(1)
+				return &warmPrunedError{s: s, g: g}
+			}
+			cands[i] = stageC
 		}
-		stageC = t.injectSeed(stageC, s, g, i)
-		if len(stageC) == 0 {
-			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d", i, s, g)
-		}
-		stageC = t.pruneByBound(stageC, g)
-		if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
-			// Every surviving combination of this pair is provably no
-			// better than the warm seed: stop before pricing the
-			// remaining stages.
-			t.warmAborted.Add(1)
-			return nil, evaluated, &warmPrunedError{s: s, g: g}
-		}
-		cands[i] = stageC
+		return nil
+	}()
+	isp.Annotate("evals", evaluated)
+	isp.End()
+	if err != nil {
+		return nil, evaluated, err
 	}
+	_, nsp := trace.StartSpan(ctx, "inter-stage")
 	var sol *interSolution
-	var err error
 	switch {
 	case t.Exhaustive:
 		sol, err = t.solveInterExhaustive(cands, t.W.Model.Layers, g)
@@ -351,6 +385,7 @@ func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
 	default:
 		sol, err = t.solveInterDP(cands, t.W.Model.Layers, g)
 	}
+	nsp.End()
 	if err != nil {
 		return nil, evaluated, err
 	}
@@ -360,41 +395,52 @@ func (t *Tuner) tuneSG(s, g, devPer int) (*interSolution, int, error) {
 // tuneSGHetero builds per-stage candidates over multiple device counts
 // and lets the device-aware DP partition both layers and devices (the
 // per-stage (n_i, m_i) assignment of Table 2).
-func (t *Tuner) tuneSGHetero(s, g int) (*interSolution, int, error) {
+func (t *Tuner) tuneSGHetero(ctx context.Context, s, g int) (*interSolution, int, error) {
 	total := t.Cluster.TotalGPUs()
 	evaluated := 0
 	devOpts := t.deviceOptions(s)
 	cands := make([][]candidate, s)
-	var pb pairBound
-	for i := 0; i < s; i++ {
-		if err := t.ctxErr(); err != nil {
-			return nil, evaluated, err
-		}
-		var stageC []candidate
-		for _, dev := range devOpts {
-			// Group the Pareto sampling per (device count, layer count)
-			// so the solver keeps trade-off points for every partition.
-			for _, l := range t.layerRange(s, i) {
-				cs, n, err := t.intraStage(s, g, i, dev, l)
-				evaluated += n
-				if err != nil {
-					return nil, evaluated, err
-				}
-				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+	_, isp := trace.StartSpan(ctx, "intra-sweep")
+	err := func() error {
+		var pb pairBound
+		for i := 0; i < s; i++ {
+			if err := t.ctxErr(); err != nil {
+				return err
 			}
+			var stageC []candidate
+			for _, dev := range devOpts {
+				// Group the Pareto sampling per (device count, layer count)
+				// so the solver keeps trade-off points for every partition.
+				for _, l := range t.layerRange(s, i) {
+					cs, n, err := t.intraStage(s, g, i, dev, l)
+					evaluated += n
+					if err != nil {
+						return err
+					}
+					stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+				}
+			}
+			stageC = t.injectSeed(stageC, s, g, i)
+			if len(stageC) == 0 {
+				return fmt.Errorf("core: stage %d infeasible for S=%d G=%d (hetero)", i, s, g)
+			}
+			stageC = t.pruneByBound(stageC, g)
+			if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+				t.warmAborted.Add(1)
+				return &warmPrunedError{s: s, g: g}
+			}
+			cands[i] = stageC
 		}
-		stageC = t.injectSeed(stageC, s, g, i)
-		if len(stageC) == 0 {
-			return nil, evaluated, fmt.Errorf("core: stage %d infeasible for S=%d G=%d (hetero)", i, s, g)
-		}
-		stageC = t.pruneByBound(stageC, g)
-		if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
-			t.warmAborted.Add(1)
-			return nil, evaluated, &warmPrunedError{s: s, g: g}
-		}
-		cands[i] = stageC
+		return nil
+	}()
+	isp.Annotate("evals", evaluated)
+	isp.End()
+	if err != nil {
+		return nil, evaluated, err
 	}
+	_, nsp := trace.StartSpan(ctx, "inter-stage")
 	sol, err := t.solveInterDPDevices(cands, t.W.Model.Layers, total, g)
+	nsp.End()
 	if err != nil {
 		return nil, evaluated, err
 	}

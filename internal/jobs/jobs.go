@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // State is a job's lifecycle phase.
@@ -55,7 +57,8 @@ type job struct {
 	seq       uint64
 	task      Task
 	requestID string
-	heapIdx   int // position in Manager.queue; -1 when not queued
+	span      *trace.Span // job lifecycle span (nil when the submit was untraced)
+	heapIdx   int         // position in Manager.queue; -1 when not queued
 
 	state         State
 	cancelWanted  bool
@@ -167,16 +170,21 @@ var ErrClosed = fmt.Errorf("jobs: manager closed")
 // Submit enqueues a task. If key is non-empty and a job with the same
 // key is still queued or running, no new job is created: the existing
 // job's snapshot is returned with deduped=true. Higher priorities run
-// first; equal priorities run in submission order.
-func (m *Manager) Submit(key string, priority int, task Task) (Snapshot, bool, error) {
-	return m.SubmitTraced(key, priority, "", task)
+// first; equal priorities run in submission order. The context only
+// links the submission into an active trace (see SubmitTraced) — it
+// does not bound the job, which runs under the manager's lifecycle.
+func (m *Manager) Submit(ctx context.Context, key string, priority int, task Task) (Snapshot, bool, error) {
+	return m.SubmitTraced(ctx, key, priority, "", task)
 }
 
-// SubmitTraced is Submit carrying the ingress request id: it is pinned
-// on the job record, and a deduplicated submission appends its id to
-// the existing job's event log so every request that touched the job
-// stays traceable.
-func (m *Manager) SubmitTraced(key string, priority int, requestID string, task Task) (Snapshot, bool, error) {
+// SubmitTraced is Submit carrying the ingress request context and id:
+// the id is pinned on the job record, a deduplicated submission appends
+// its id to the existing job's event log so every request that touched
+// the job stays traceable, and when ctx carries an active trace span
+// the whole job lifecycle (queued -> running -> settled) is recorded as
+// one "job" span under it — the async continuation of the submitting
+// request's trace.
+func (m *Manager) SubmitTraced(ctx context.Context, key string, priority int, requestID string, task Task) (Snapshot, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -225,6 +233,14 @@ func (m *Manager) SubmitTraced(key string, priority int, requestID string, task 
 		done:      make(chan struct{}),
 	}
 	j.events = append(j.events, Event{Time: j.submitted, Msg: "submitted"})
+	// The job span opens while the submitting request's trace portion is
+	// still open, so an async job extends that portion rather than
+	// splitting it: the portion publishes when the job settles.
+	_, j.span = trace.StartSpan(ctx, "job")
+	j.span.Annotate("job", j.id)
+	if key != "" {
+		j.span.Annotate("key", key)
+	}
 	m.jobs[j.id] = j
 	if key != "" {
 		m.active[key] = j
@@ -252,6 +268,11 @@ const maxRetainedJobs = 4096
 // FIFO feeds O(1) eviction, so Submit never scans the table. Call with
 // mu held, exactly once per job, after its state turns terminal.
 func (m *Manager) settleLocked(j *job) {
+	// Every terminal path funnels here — worker settle, queued cancel,
+	// Close — so the job span always ends exactly once, stamped with the
+	// state it settled in.
+	j.span.Annotate("state", string(j.state))
+	j.span.End()
 	m.settledQ = append(m.settledQ, j.id)
 	close(j.done)
 }
@@ -305,13 +326,21 @@ func (m *Manager) worker(ctx context.Context) {
 		j.cancelRunning = cancel
 		m.mu.Unlock()
 
+		// Re-attach the submit-time trace: the task's own spans (and any
+		// forwarded hops it makes) become children of the job span, and
+		// the execution window itself is a "job-run" child so queue wait
+		// and run time separate cleanly in the trace.
+		jctx = trace.ContextWithSpan(jctx, j.span)
+		rctx, rsp := trace.StartSpan(jctx, "job-run")
+
 		m.busy.Add(1)
-		result, err := runTask(jctx, j.task, func(msg string) {
+		result, err := runTask(rctx, j.task, func(msg string) {
 			m.mu.Lock()
 			j.events = append(j.events, Event{Time: time.Now(), Msg: msg})
 			m.mu.Unlock()
 		})
 		m.busy.Add(-1)
+		rsp.End()
 		ctxErr := jctx.Err() // read before the cleanup cancel below
 		cancel()
 

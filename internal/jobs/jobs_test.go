@@ -23,7 +23,7 @@ func wait(t *testing.T, m *Manager, id string) Snapshot {
 func TestSubmitRunsAndReturnsResult(t *testing.T) {
 	m := NewManager(2, 0)
 	defer m.Close()
-	snap, deduped, err := m.Submit("k1", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	snap, deduped, err := m.Submit(context.Background(), "k1", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		emit("halfway")
 		return 42, nil
 	})
@@ -60,13 +60,13 @@ func TestFailureAndPanicIsolation(t *testing.T) {
 	m := NewManager(1, 0)
 	defer m.Close()
 	boom := errors.New("boom")
-	s1, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	s1, _, _ := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		return nil, boom
 	})
-	s2, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	s2, _, _ := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		panic("kaboom")
 	})
-	s3, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	s3, _, _ := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		return "ok", nil
 	})
 	if f := wait(t, m, s1.ID); f.State != StateFailed || !errors.Is(f.Err, boom) {
@@ -94,7 +94,7 @@ func TestPriorityOrdering(t *testing.T) {
 	gate := make(chan struct{})
 	var mu sync.Mutex
 	var order []string
-	_, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	_, _, err := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		<-gate
 		return nil, nil
 	})
@@ -103,7 +103,7 @@ func TestPriorityOrdering(t *testing.T) {
 	}
 	submit := func(name string, prio int) string {
 		t.Helper()
-		snap, _, err := m.Submit("", prio, func(ctx context.Context, emit func(string)) (any, error) {
+		snap, _, err := m.Submit(context.Background(), "", prio, func(ctx context.Context, emit func(string)) (any, error) {
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
@@ -136,14 +136,14 @@ func TestDedupOntoActiveJob(t *testing.T) {
 	m := NewManager(1, 0)
 	defer m.Close()
 	release := make(chan struct{})
-	first, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	first, deduped, err := m.Submit(context.Background(), "same", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		<-release
 		return "shared", nil
 	})
 	if err != nil || deduped {
 		t.Fatal(err)
 	}
-	second, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	second, deduped, err := m.Submit(context.Background(), "same", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		t.Error("duplicate task ran")
 		return nil, nil
 	})
@@ -158,7 +158,7 @@ func TestDedupOntoActiveJob(t *testing.T) {
 		t.Fatalf("shared job: %+v", f)
 	}
 	// Once settled, the key is free again: a new submission runs fresh.
-	third, deduped, err := m.Submit("same", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	third, deduped, err := m.Submit(context.Background(), "same", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		return "fresh", nil
 	})
 	if err != nil || deduped || third.ID == first.ID {
@@ -175,7 +175,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	defer m.Close()
 
 	started := make(chan struct{})
-	running, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	running, _, err := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		close(started)
 		<-ctx.Done() // honor cancellation
 		return nil, ctx.Err()
@@ -183,7 +183,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, _, err := m.Submit("q", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	queued, _, err := m.Submit(context.Background(), "q", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		t.Error("canceled queued job ran")
 		return nil, nil
 	})
@@ -200,7 +200,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 		t.Errorf("queued job: %+v", f)
 	}
 	// Its dedup key is released.
-	if _, deduped, _ := m.Submit("q", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); deduped {
+	if _, deduped, _ := m.Submit(context.Background(), "q", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); deduped {
 		t.Error("canceled queued job still holds its dedup key")
 	}
 
@@ -232,7 +232,7 @@ func TestCancelFreesQueueSlotAndDedupBumpsPriority(t *testing.T) {
 		}
 		return nil, nil
 	}
-	if _, _, err := m.Submit("", 0, blocker); err != nil {
+	if _, _, err := m.Submit(context.Background(), "", 0, blocker); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -242,9 +242,9 @@ func TestCancelFreesQueueSlotAndDedupBumpsPriority(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	a, _, _ := m.Submit("a", 0, blocker)
-	bJob, _, _ := m.Submit("b", 1, blocker)
-	if _, _, err := m.Submit("", 0, blocker); !errors.Is(err, ErrQueueFull) {
+	a, _, _ := m.Submit(context.Background(), "a", 0, blocker)
+	bJob, _, _ := m.Submit(context.Background(), "b", 1, blocker)
+	if _, _, err := m.Submit(context.Background(), "", 0, blocker); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("queue should be full: %v", err)
 	}
 	if !m.Cancel(a.ID) {
@@ -254,12 +254,12 @@ func TestCancelFreesQueueSlotAndDedupBumpsPriority(t *testing.T) {
 		t.Errorf("queue depth after cancel = %d, want 1", depth)
 	}
 	// The freed slot admits a new job immediately.
-	if _, _, err := m.Submit("c", 0, blocker); err != nil {
+	if _, _, err := m.Submit(context.Background(), "c", 0, blocker); err != nil {
 		t.Errorf("freed slot rejected a submit: %v", err)
 	}
 	// Resubmitting b's workload at higher priority promotes the queued
 	// job rather than demoting the urgent request.
-	snap, deduped, err := m.Submit("b", 9, blocker)
+	snap, deduped, err := m.Submit(context.Background(), "b", 9, blocker)
 	if err != nil || !deduped || snap.ID != bJob.ID {
 		t.Fatalf("dedup resubmit: %+v deduped=%v err=%v", snap, deduped, err)
 	}
@@ -281,7 +281,7 @@ func TestQueueBound(t *testing.T) {
 		return nil, nil
 	}
 	// One running + two queued fills the bound.
-	if _, _, err := m.Submit("", 0, blocker); err != nil {
+	if _, _, err := m.Submit(context.Background(), "", 0, blocker); err != nil {
 		t.Fatal(err)
 	}
 	// Give the worker a moment to pick up the first job so exactly two
@@ -294,11 +294,11 @@ func TestQueueBound(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	for i := 0; i < 2; i++ {
-		if _, _, err := m.Submit("", 0, blocker); err != nil {
+		if _, _, err := m.Submit(context.Background(), "", 0, blocker); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := m.Submit("", 0, blocker); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := m.Submit(context.Background(), "", 0, blocker); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("overfull submit: %v", err)
 	}
 }
@@ -306,12 +306,12 @@ func TestQueueBound(t *testing.T) {
 func TestCloseCancelsEverything(t *testing.T) {
 	m := NewManager(1, 0)
 	entered := make(chan struct{})
-	running, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	running, _, _ := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		close(entered)
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	queued, _, _ := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	queued, _, _ := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		return nil, nil
 	})
 	<-entered
@@ -323,7 +323,7 @@ func TestCloseCancelsEverything(t *testing.T) {
 	if f, _ := m.Get(queued.ID); f.State != StateCanceled {
 		t.Errorf("queued job after close: %s", f.State)
 	}
-	if _, _, err := m.Submit("", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+	if _, _, err := m.Submit(context.Background(), "", 0, func(ctx context.Context, emit func(string)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after close: %v", err)
 	}
 	m.Close() // idempotent
@@ -335,7 +335,7 @@ func TestListAndStats(t *testing.T) {
 	const n = 9
 	ids := make([]string, n)
 	for i := 0; i < n; i++ {
-		snap, _, err := m.Submit(fmt.Sprintf("k%d", i), i%3, func(ctx context.Context, emit func(string)) (any, error) {
+		snap, _, err := m.Submit(context.Background(), fmt.Sprintf("k%d", i), i%3, func(ctx context.Context, emit func(string)) (any, error) {
 			return nil, nil
 		})
 		if err != nil {

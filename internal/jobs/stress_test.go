@@ -17,7 +17,7 @@ func TestSubmitSkipsCancelPendingJob(t *testing.T) {
 	m := NewManager(1, 0)
 	defer m.Close()
 	release := make(chan struct{})
-	first, _, err := m.Submit("k", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	first, _, err := m.Submit(context.Background(), "k", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		select {
 		case <-release:
 			return nil, ctx.Err()
@@ -42,7 +42,7 @@ func TestSubmitSkipsCancelPendingJob(t *testing.T) {
 	if !m.Cancel(first.ID) {
 		t.Fatal("cancel refused")
 	}
-	second, deduped, err := m.Submit("k", 0, func(ctx context.Context, emit func(string)) (any, error) {
+	second, deduped, err := m.Submit(context.Background(), "k", 0, func(ctx context.Context, emit func(string)) (any, error) {
 		return "fresh", nil
 	})
 	if err != nil {
@@ -116,7 +116,7 @@ func TestJobStormNoLeaks(t *testing.T) {
 					}
 					mode := rng.Intn(3)
 					nap := time.Duration(rng.Intn(500)) * time.Microsecond
-					snap, _, err := m.Submit(key, rng.Intn(4), func(ctx context.Context, emit func(string)) (any, error) {
+					snap, _, err := m.Submit(context.Background(), key, rng.Intn(4), func(ctx context.Context, emit func(string)) (any, error) {
 						emit("working")
 						select {
 						case <-time.After(nap):

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Target executes one HTTP request. *http.Client satisfies it for live
@@ -43,6 +44,11 @@ type Options struct {
 	Duration    time.Duration // stop feeding new ops after this long
 	MaxOps      int           // stop after this many ops (0: unlimited)
 	BaseURL     string        // live-target URL prefix ("" for in-process)
+
+	// TraceSample stamps every Nth op with a deterministic X-Mist-Trace
+	// id, forcing the server to record it end to end (0: off, 1: every
+	// op). Audit the result with AuditTraces after the run.
+	TraceSample int
 }
 
 // EndpointReport aggregates one endpoint's results.
@@ -70,6 +76,14 @@ type Report struct {
 	StatusCounts    map[string]uint64          `json:"statusCounts"`
 	Server5xx       uint64                     `json:"server5xx"`
 	Endpoints       map[string]*EndpointReport `json:"endpoints"`
+
+	// TracedOps counts sampled ops that produced a response; filled when
+	// Options.TraceSample > 0. TraceAudit and Phases are filled by the
+	// caller from AuditTraces (the runner itself does not know the
+	// fleet's per-node debug endpoints).
+	TracedOps  uint64                  `json:"tracedOps,omitempty"`
+	TraceAudit *TraceAudit             `json:"traceAudit,omitempty"`
+	Phases     map[string]*PhaseReport `json:"phases,omitempty"`
 }
 
 // endpointOf maps an op onto the serving layer's endpoint labels, so a
@@ -185,6 +199,7 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 
 	reg := metrics.NewRegistry()
 	rec := newRecorder(reg)
+	sampler := newTraceSampler(opts.TraceSample, opts.Seed)
 	var (
 		tracker   jobTracker
 		transport metrics.Counter
@@ -225,7 +240,7 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for op := range ops {
-				runOp(ctx, target, opts.BaseURL, op, rec, &tracker, &transport)
+				runOp(ctx, target, opts.BaseURL, op, rec, &tracker, &transport, sampler)
 			}
 		}()
 	}
@@ -266,6 +281,9 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 	}
+	if sampler != nil {
+		rep.TracedOps = sampler.sent.Load()
+	}
 	return rep, nil
 }
 
@@ -273,7 +291,7 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 // context, so canceling the run aborts in-flight requests instead of
 // waiting them out. Cancel ops with no tracked job degrade to a list
 // (keeps the request count stable without inventing 404 noise).
-func runOp(ctx context.Context, target Target, baseURL string, op Op, rec *recorder, tracker *jobTracker, transport *metrics.Counter) {
+func runOp(ctx context.Context, target Target, baseURL string, op Op, rec *recorder, tracker *jobTracker, transport *metrics.Counter, sampler *traceSampler) {
 	var (
 		method = http.MethodPost
 		path   string
@@ -316,6 +334,12 @@ func runOp(ctx context.Context, target Target, baseURL string, op Op, rec *recor
 	if method == http.MethodPost {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// A stamped X-Mist-Trace forces the server to record this op end to
+	// end — the client is the sampling edge, no server-side flag needed.
+	tid := sampler.pick()
+	if tid != "" {
+		req.Header.Set(trace.HeaderTrace, tid)
+	}
 
 	ep := endpointOf(op.Kind)
 	start := time.Now()
@@ -324,6 +348,9 @@ func runOp(ctx context.Context, target Target, baseURL string, op Op, rec *recor
 	if err != nil {
 		transport.Inc()
 		return
+	}
+	if tid != "" {
+		sampler.delivered()
 	}
 	defer resp.Body.Close()
 	rec.observe(ep, resp.StatusCode, elapsed)

@@ -1,0 +1,219 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// This file is the load harness's view of the serving tier's tracing
+// surface: client-side sampling (stamping X-Mist-Trace forces the
+// server to record, so it works against any target, live or
+// in-process), the post-run audit that every sampled op produced a
+// root span and no span was left unfinished, and the per-phase latency
+// breakdown folded from the fleet's /debug/traces rings.
+
+// traceSampler stamps every Nth op with a deterministic client-side
+// trace id. Ids are a pure function of (seed, op ordinal), so replaying
+// a run stamps the same ids — a trace from run A can be diffed against
+// the same op's trace from run B.
+type traceSampler struct {
+	every uint64
+	seed  uint64
+	ops   atomic.Uint64 // ordinal assignment across workers
+	sent  atomic.Uint64 // sampled ops that reached the target (counted on response)
+}
+
+func newTraceSampler(every int, seed int64) *traceSampler {
+	if every <= 0 {
+		return nil
+	}
+	return &traceSampler{every: uint64(every), seed: splitmix(uint64(seed))}
+}
+
+// pick assigns this op its ordinal and returns its trace id ("" when
+// the op is not sampled). Safe on a nil sampler.
+func (ts *traceSampler) pick() string {
+	if ts == nil {
+		return ""
+	}
+	n := ts.ops.Add(1)
+	if (n-1)%ts.every != 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", splitmix(ts.seed+n))
+}
+
+// delivered counts a sampled op whose request produced a response (any
+// status). Only delivered ops are owed a root span: a transport error —
+// a killed node, an aborted run — never reached a recorder.
+func (ts *traceSampler) delivered() {
+	if ts != nil {
+		ts.sent.Add(1)
+	}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TraceAudit is the fleet-wide recorder counter fold after a sampled
+// run has settled. The invariants: OpenSpans == 0 (no span left
+// unfinished, including async job spans) and RootsPublished >=
+// TracedOps (every delivered sampled op produced a root span). Both are
+// counter-based, so ring eviction cannot mask a violation.
+type TraceAudit struct {
+	TracedOps       uint64 `json:"tracedOps"`
+	SpansStarted    uint64 `json:"spansStarted"`
+	SpansEnded      uint64 `json:"spansEnded"`
+	OpenSpans       int64  `json:"openSpans"`
+	TracesPublished uint64 `json:"tracesPublished"`
+	RootsPublished  uint64 `json:"rootsPublished"`
+	TracesDropped   uint64 `json:"tracesDropped"`
+}
+
+// PhaseReport aggregates one span name's latency across every sampled
+// trace retained by the fleet's rings (best effort: evicted traces are
+// not in the breakdown, but are counted in TraceAudit).
+type PhaseReport struct {
+	Count   uint64  `json:"count"`
+	MeanMs  float64 `json:"meanMs"`
+	P95Ms   float64 `json:"p95Ms"`
+	MaxMs   float64 `json:"maxMs"`
+	TotalMs float64 `json:"totalMs"`
+}
+
+// debugTraces mirrors the serving layer's GET /debug/traces reply.
+type debugTraces struct {
+	Node   string            `json:"node"`
+	Stats  trace.Stats       `json:"stats"`
+	Traces []trace.TraceData `json:"traces"`
+}
+
+func fetchDebugTraces(ctx context.Context, t Target, limit int) (*debugTraces, error) {
+	url := "http://inproc/debug/traces"
+	if limit >= 0 {
+		url += fmt.Sprintf("?limit=%d", limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("/debug/traces: %d %s", resp.StatusCode, string(body))
+	}
+	var dt debugTraces
+	if err := json.NewDecoder(resp.Body).Decode(&dt); err != nil {
+		return nil, fmt.Errorf("/debug/traces: %w", err)
+	}
+	return &dt, nil
+}
+
+// AuditTraces waits for the fleet's spans to settle (async job spans
+// stay open until their job finishes, so this drains the tail of the
+// run), then checks the trace invariants and folds the per-phase
+// latency breakdown. nodes are per-node targets whose /debug/traces
+// endpoints cover every recorder the run could have touched; tracedOps
+// is Report.TracedOps. A non-nil error means the audit FAILED — the
+// returned audit still carries the counters that failed it.
+func AuditTraces(ctx context.Context, nodes []Target, tracedOps uint64) (*TraceAudit, map[string]*PhaseReport, error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("trace audit: no nodes to audit")
+	}
+	// Settle: poll counters until every span has ended. Counters only —
+	// the full ring is fetched once, after the fleet is quiet.
+	var audit TraceAudit
+	audit.TracedOps = tracedOps
+	for {
+		audit.SpansStarted, audit.SpansEnded, audit.OpenSpans = 0, 0, 0
+		audit.TracesPublished, audit.RootsPublished, audit.TracesDropped = 0, 0, 0
+		var fetchErr error
+		for _, t := range nodes {
+			dt, err := fetchDebugTraces(ctx, t, 0)
+			if err != nil {
+				fetchErr = err
+				break
+			}
+			audit.SpansStarted += dt.Stats.SpansStarted
+			audit.SpansEnded += dt.Stats.SpansEnded
+			audit.OpenSpans += dt.Stats.OpenSpans
+			audit.TracesPublished += dt.Stats.TracesPublished
+			audit.RootsPublished += dt.Stats.RootsPublished
+			audit.TracesDropped += dt.Stats.TracesDropped
+		}
+		if fetchErr == nil && audit.OpenSpans == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			if fetchErr != nil {
+				return &audit, nil, fmt.Errorf("trace audit: %w", fetchErr)
+			}
+			return &audit, nil, fmt.Errorf("trace audit: %d spans still open (unfinished) after settle timeout", audit.OpenSpans)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if audit.RootsPublished < tracedOps {
+		return &audit, nil, fmt.Errorf("trace audit: %d sampled ops but only %d root spans published (some op produced no root)",
+			tracedOps, audit.RootsPublished)
+	}
+
+	// Phase breakdown from whatever the rings retained.
+	durs := map[string][]float64{}
+	for _, t := range nodes {
+		dt, err := fetchDebugTraces(ctx, t, -1)
+		if err != nil {
+			return &audit, nil, fmt.Errorf("trace audit: %w", err)
+		}
+		for _, td := range dt.Traces {
+			for _, sp := range td.Spans {
+				name := phaseName(sp.Name)
+				durs[name] = append(durs[name], float64(sp.DurationNs)/1e6)
+			}
+		}
+	}
+	phases := make(map[string]*PhaseReport, len(durs))
+	for name, ds := range durs {
+		sort.Float64s(ds)
+		var total float64
+		for _, d := range ds {
+			total += d
+		}
+		phases[name] = &PhaseReport{
+			Count:   uint64(len(ds)),
+			MeanMs:  total / float64(len(ds)),
+			P95Ms:   ds[min(len(ds)-1, len(ds)*95/100)],
+			MaxMs:   ds[len(ds)-1],
+			TotalMs: total,
+		}
+	}
+	return &audit, phases, nil
+}
+
+// phaseName folds per-endpoint root spans ("POST /tune") into one
+// "request" phase; the instrumented phases (admission, forward,
+// store-check, search, replication, job, job-run) keep their names.
+func phaseName(span string) string {
+	for i := 0; i < len(span); i++ {
+		if span[i] == ' ' {
+			return "request " + span[i+1:]
+		}
+	}
+	return span
+}

@@ -204,10 +204,23 @@ type HistogramPoint struct {
 	Snap   HistSnapshot
 }
 
+// GaugePoint is one gauge series in a GatherGauges result.
+type GaugePoint struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
 type counterEntry struct {
 	name   string
 	labels Labels
 	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels Labels
+	fn     func() float64
 }
 
 type histEntry struct {
@@ -223,6 +236,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*counterEntry
 	hists    map[string]*histEntry
+	gauges   map[string]*gaugeEntry
 }
 
 // NewRegistry builds an empty registry.
@@ -230,6 +244,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*counterEntry{},
 		hists:    map[string]*histEntry{},
+		gauges:   map[string]*gaugeEntry{},
 	}
 }
 
@@ -274,6 +289,40 @@ func (r *Registry) Histogram(name string, labels Labels) *Histogram {
 	return e.h
 }
 
+// RegisterGauge registers (or replaces) a callback gauge: fn is
+// invoked at gather/scrape time, so the series always reports the
+// current value with no update loop. fn must be safe for concurrent
+// use and must not block — runtime introspection (goroutine counts,
+// memstats) is the intended shape.
+func (r *Registry) RegisterGauge(name string, labels Labels, fn func() float64) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	r.gauges[key] = &gaugeEntry{name: name, labels: labels.clone(), fn: fn}
+	r.mu.Unlock()
+}
+
+// GatherGauges evaluates every gauge callback, sorted by series key.
+// Callbacks run outside the registry lock so a slow one cannot stall
+// hot-path get-or-create.
+func (r *Registry) GatherGauges() []GaugePoint {
+	r.mu.RLock()
+	entries := make([]*gaugeEntry, 0, len(r.gauges))
+	keys := make([]string, 0, len(r.gauges))
+	for k := range r.gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		entries = append(entries, r.gauges[k])
+	}
+	r.mu.RUnlock()
+	out := make([]GaugePoint, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, GaugePoint{Name: e.name, Labels: e.labels.clone(), Value: e.fn()})
+	}
+	return out
+}
+
 // Gather snapshots every series, sorted by series key so output order is
 // stable across calls.
 func (r *Registry) Gather() ([]CounterPoint, []HistogramPoint) {
@@ -314,6 +363,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			lastType = c.Name
 		}
 		fmt.Fprintf(w, "%s%s %d\n", c.Name, c.Labels.render(), c.Value)
+	}
+	lastType = ""
+	for _, g := range r.GatherGauges() {
+		if g.Name != lastType {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name)
+			lastType = g.Name
+		}
+		fmt.Fprintf(w, "%s%s %g\n", g.Name, g.Labels.render(), g.Value)
 	}
 	lastType = ""
 	for _, h := range hs {

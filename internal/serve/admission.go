@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Limits is the serving layer's backpressure contract. Each expensive
@@ -186,26 +187,46 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 			ctx, cancel = context.WithTimeout(ctx, s.limits.RequestTimeout)
 			defer cancel()
 		}
+		// Trace root: a request arriving with X-Mist-Trace continues the
+		// sender's trace (its portion here is a hop, parented under the
+		// sender's span); otherwise local sampling may start a fresh one
+		// on operation endpoints.
+		var rootSp *trace.Span
+		if s.trace != nil {
+			name := req.Method + " " + endpoint
+			if tid := req.Header.Get(trace.HeaderTrace); tid != "" {
+				ctx, rootSp = s.trace.ContinueTrace(ctx, name, tid, req.Header.Get(trace.HeaderSpan), rid)
+			} else if tracedEndpoint(endpoint) {
+				ctx, rootSp = s.trace.StartTrace(ctx, name, rid)
+			}
+		}
 		req = req.WithContext(ctx)
+		lid := logID(ctx)
 		sr := &statusRecorder{ResponseWriter: rw, code: http.StatusOK}
 		sr.Header().Set(cluster.HeaderRequestID, rid)
 		if s.cluster != nil {
 			sr.Header().Set(cluster.HeaderServedBy, s.cluster.Self())
 		}
+		finish := func() {
+			observe(sr.code, time.Since(start))
+			s.logf("request %s: %s %s -> %d (%.1fms)", lid, req.Method, endpoint,
+				sr.code, float64(time.Since(start))/float64(time.Millisecond))
+			rootSp.Annotate("code", sr.code)
+			rootSp.End()
+		}
 		if g != nil && !s.admittedUpstream(req) {
-			if err := g.acquire(req.Context()); err != nil {
+			actx, asp := trace.StartSpan(req.Context(), "admission")
+			err := g.acquire(actx)
+			asp.End()
+			if err != nil {
 				writeError(sr, statusFor(err), err)
-				observe(sr.code, time.Since(start))
-				s.logf("request %s: %s %s -> %d (%.1fms)", rid, req.Method, endpoint,
-					sr.code, float64(time.Since(start))/float64(time.Millisecond))
+				finish()
 				return
 			}
 			defer g.release()
 		}
 		h(sr, req)
-		observe(sr.code, time.Since(start))
-		s.logf("request %s: %s %s -> %d (%.1fms)", rid, req.Method, endpoint,
-			sr.code, float64(time.Since(start))/float64(time.Millisecond))
+		finish()
 	}
 }
 

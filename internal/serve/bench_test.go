@@ -33,7 +33,7 @@ func BenchmarkBatchSubmit(b *testing.B) {
 		b.Helper()
 		ids := map[string]bool{}
 		for i, spec := range specs {
-			st, err := s.SubmitJob(spec)
+			st, err := s.SubmitJob(context.Background(), spec)
 			if err != nil {
 				b.Fatalf("spec %d: %v", i, err)
 			}

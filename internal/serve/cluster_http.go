@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // This file is the serving layer's half of the sharded tier: the
@@ -106,7 +107,7 @@ func (s *Server) proxyKeyed(rw http.ResponseWriter, req *http.Request, key strin
 		}
 	}
 	s.localFallbacks.Add(1)
-	s.logf("request %s: no reachable replica for %s, serving locally", rid, key)
+	s.logf("request %s: no reachable replica for %s, serving locally", logID(req.Context()), key)
 	return false
 }
 
@@ -116,18 +117,27 @@ func (s *Server) proxyKeyed(rw http.ResponseWriter, req *http.Request, key strin
 // response body on success; a transport failure returns nil and has
 // already been counted.
 func (s *Server) forwardOnce(ctx context.Context, m cluster.Member, method, path, rid, contentType string, body []byte) *http.Response {
-	resp, err := s.cluster.Forward(ctx, m, method, path, rid, contentType, body)
+	// The forward span covers the whole hop round-trip; Forward injects
+	// it onto the wire, so the peer's local root is parented under it.
+	fctx, fsp := trace.StartSpan(ctx, "forward")
+	fsp.Annotate("peer", m.ID)
+	fsp.Annotate("path", path)
+	resp, err := s.cluster.Forward(fctx, m, method, path, rid, contentType, body)
 	if err != nil {
+		fsp.Annotate("error", err.Error())
+		fsp.End()
 		s.forwardErrors.Add(1)
 		s.metrics.Counter(metricForwardErrorsTotal, metrics.Labels{"peer": m.ID}).Inc()
-		s.logf("request %s: forward %s %s to %s failed: %v", rid, method, path, m.ID, err)
+		s.logf("request %s: forward %s %s to %s failed: %v", logID(ctx), method, path, m.ID, err)
 		return nil
 	}
+	fsp.Annotate("code", resp.StatusCode)
+	fsp.End()
 	s.forwards.Add(1)
 	s.metrics.Counter(metricForwardsTotal, metrics.Labels{
 		"peer": m.ID, "code": strconv.Itoa(resp.StatusCode),
 	}).Inc()
-	s.logf("request %s: forwarded %s %s to %s -> %d", rid, method, path, m.ID, resp.StatusCode)
+	s.logf("request %s: forwarded %s %s to %s -> %d", logID(ctx), method, path, m.ID, resp.StatusCode)
 	return resp
 }
 
@@ -209,7 +219,7 @@ func (s *Server) clusterTune(ctx context.Context, ws WorkloadSpec) (*TuneRespons
 		return &tr, nil
 	}
 	s.localFallbacks.Add(1)
-	s.logf("request %s: no reachable replica for %s, tuning locally", rid, key)
+	s.logf("request %s: no reachable replica for %s, tuning locally", logID(ctx), key)
 	return s.tuneCtx(ctx, ws)
 }
 
@@ -219,9 +229,7 @@ func (s *Server) clusterTune(ctx context.Context, ws WorkloadSpec) (*TuneRespons
 // reachable replica can serve the plan from its own store, which is
 // what makes a node failover lossless. Down peers are skipped (they
 // re-converge by serving store misses as fresh forwards after rejoin).
-//
-//mistlint:ignore ctxflow store OnPut hook: replication is budget-bounded and must complete even if the triggering request dies
-func (s *Server) replicateRecord(rec store.Record) {
+func (s *Server) replicateRecord(ctx context.Context, rec store.Record) {
 	if s.cluster == nil {
 		return
 	}
@@ -243,8 +251,16 @@ func (s *Server) replicateRecord(rec store.Record) {
 	// serve the plan the moment the client has it), so the whole round
 	// runs on the tune-response path; the budget is kept tight so one
 	// slow-but-accepting (Suspect) replica delays a response by a
-	// bounded amount, not a request-timeout violation per peer.
-	ctx, cancel := context.WithTimeout(context.Background(), replicationBudget)
+	// bounded amount, not a request-timeout violation per peer. The
+	// triggering request's values (trace span, request id) carry over,
+	// but its cancellation does not: a client giving up right after the
+	// response must not strand the fleet under-replicated.
+	rid := RequestIDFrom(ctx)
+	lid := logID(ctx)
+	rctx, rsp := trace.StartSpan(context.WithoutCancel(ctx), "replication")
+	rsp.Annotate("key", key)
+	defer rsp.End()
+	rctx, cancel := context.WithTimeout(rctx, replicationBudget)
 	defer cancel()
 	allOK := true
 	for _, m := range targets {
@@ -254,12 +270,12 @@ func (s *Server) replicateRecord(rec store.Record) {
 			outcome = "skipped-down"
 			allOK = false
 		default:
-			resp, err := s.cluster.Forward(ctx, m, http.MethodPost, "/cluster/replicate", "", "application/json", body)
+			resp, err := s.cluster.Forward(rctx, m, http.MethodPost, "/cluster/replicate", rid, "application/json", body)
 			if err != nil {
 				outcome = "error"
 				allOK = false
 				s.replicationErrors.Add(1)
-				s.logf("replicate %s v%d to %s failed: %v", key, rec.Version, m.ID, err)
+				s.logf("request %s: replicate %s v%d to %s failed: %v", lid, key, rec.Version, m.ID, err)
 				break
 			}
 			io.Copy(io.Discard, resp.Body)
@@ -268,7 +284,7 @@ func (s *Server) replicateRecord(rec store.Record) {
 				outcome = "rejected"
 				allOK = false
 				s.replicationErrors.Add(1)
-				s.logf("replicate %s v%d to %s rejected: %d", key, rec.Version, m.ID, resp.StatusCode)
+				s.logf("request %s: replicate %s v%d to %s rejected: %d", lid, key, rec.Version, m.ID, resp.StatusCode)
 			} else {
 				s.replications.Add(1)
 			}
@@ -277,6 +293,8 @@ func (s *Server) replicateRecord(rec store.Record) {
 			"peer": m.ID, "outcome": outcome,
 		}).Inc()
 	}
+	rsp.Annotate("targets", len(targets))
+	rsp.Annotate("allOk", allOK)
 	if allOK {
 		// Every replica confirmed the write, so the background repairer
 		// can skip this record until the ring changes again.

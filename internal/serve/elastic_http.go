@@ -264,7 +264,7 @@ func (s *Server) fetchRecordFromPeers(ctx context.Context, fp store.Fingerprint)
 		}
 		s.recordFetchHits.Add(1)
 		s.logf("request %s: record %s fetched from peer %s (v%d), search suppressed",
-			RequestIDFrom(ctx), key, m.ID, rec.Version)
+			logID(ctx), key, m.ID, rec.Version)
 		return rec, true
 	}
 	return store.Record{}, false

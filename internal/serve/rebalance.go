@@ -140,6 +140,10 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 	ring := s.currentRing()
 	rep.Epoch = ring.epoch
 	self := s.cluster.Self()
+	// Repair passes have no ingress request, so each pass mints its own
+	// id: every log line and timeline event of one pass correlates the
+	// same way request lines do.
+	pass := "rebalance " + newRequestID()
 
 	// Pull phase: after an epoch change (or at first pass — lastPull
 	// starts at -1, which is how a node restarted with an empty store
@@ -181,7 +185,7 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 				if current[m.ID] {
 					complete = false
 					rep.Errors++
-					s.logf("rebalance: pulling records from %s failed: %v", m.ID, err)
+					s.logf("%s: pulling records from %s failed: %v", pass, m.ID, err)
 				}
 				continue
 			}
@@ -247,7 +251,7 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 			if err != nil {
 				allOK = false
 				rep.Errors++
-				s.logf("rebalance: pushing %s v%d to %s failed: %v", key, rec.Version, m.ID, err)
+				s.logf("%s: pushing %s v%d to %s failed: %v", pass, key, rec.Version, m.ID, err)
 				continue
 			}
 			rep.Pushed++
@@ -262,11 +266,11 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 			s.markRepaired(key, ring)
 		} else if err := s.store.Delete(rec.Fingerprint); err != nil {
 			rep.Errors++
-			s.logf("rebalance: releasing %s after handoff failed: %v", key, err)
+			s.logf("%s: releasing %s after handoff failed: %v", pass, key, err)
 		} else {
 			rep.Dropped++
 			s.clearRepaired(key)
-			s.logf("rebalance: handed off %s v%d to %v", key, rec.Version, memberIDs(reps))
+			s.logf("%s: handed off %s v%d to %v", pass, key, rec.Version, memberIDs(reps))
 		}
 	}
 
@@ -274,6 +278,24 @@ func (s *Server) RebalanceOnce(ctx context.Context) (RebalanceReport, error) {
 	s.rebalancePulled.Add(uint64(rep.Pulled))
 	s.rebalanceDropped.Add(uint64(rep.Dropped))
 	s.rebalanceErrors.Add(uint64(rep.Errors))
+	// Repair activity lands on the cluster timeline, one event per
+	// nonzero category per pass — bounded by pass cadence, not by the
+	// record count a pass moved.
+	if rep.Pulled > 0 {
+		s.cluster.RecordEvent(cluster.EventRebalancePull, "",
+			fmt.Sprintf("%s: pulled %d records", pass, rep.Pulled))
+	}
+	if rep.Pushed > 0 {
+		s.cluster.RecordEvent(cluster.EventRebalancePush, "",
+			fmt.Sprintf("%s: pushed %d records (%d applied)", pass, rep.Pushed, rep.Applied))
+	}
+	if rep.Dropped > 0 {
+		s.cluster.RecordEvent(cluster.EventRebalanceHandoff, "",
+			fmt.Sprintf("%s: handed off %d records", pass, rep.Dropped))
+	}
+	if rep.Pushed+rep.Pulled+rep.Dropped+rep.Errors > 0 {
+		s.logf("%s: %s", pass, rep)
+	}
 	return rep, nil
 }
 
@@ -386,12 +408,9 @@ func (s *Server) rebalanceLoop(ctx context.Context, interval time.Duration) {
 		case <-tick:
 		case <-s.rbKick:
 		}
-		rep, err := s.RebalanceOnce(ctx)
-		if err != nil {
+		// RebalanceOnce logs its own per-pass summary under the pass id.
+		if _, err := s.RebalanceOnce(ctx); err != nil {
 			return // context canceled mid-pass
-		}
-		if rep.Pushed+rep.Pulled+rep.Dropped+rep.Errors > 0 {
-			s.logf("rebalance: %s", rep)
 		}
 	}
 }

@@ -65,6 +65,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/schedule"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/trainsim"
 )
 
@@ -351,6 +352,9 @@ type Server struct {
 	cluster *cluster.Cluster
 	logFn   func(format string, args ...any)
 
+	traceOpt *trace.Options
+	trace    *trace.Recorder
+
 	limits       Limits
 	metrics      *metrics.Registry
 	tuneGate     *gate
@@ -437,9 +441,20 @@ func WithCluster(cl *cluster.Cluster) Option {
 }
 
 // WithLog installs a request/forwarding logger (log.Printf-shaped);
-// every line carries the ingress request id. Default: no logging.
+// every line carries the ingress request id (and the trace id when the
+// request is sampled). Default: no logging.
 func WithLog(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logFn = logf }
+}
+
+// WithTrace enables request tracing: a per-node recorder collects
+// context-propagated spans into a bounded ring served at GET
+// /debug/traces, and trace context travels across forwarded hops on
+// X-Mist-Trace/X-Mist-Span. The recorder is built inside New (one per
+// server, even when the same option list configures a whole
+// LocalCluster); a zero Node label defaults to the cluster node id.
+func WithTrace(opt trace.Options) Option {
+	return func(s *Server) { s.traceOpt = &opt }
 }
 
 // New builds a service.
@@ -469,6 +484,14 @@ func New(opts ...Option) *Server {
 		qc = 1
 	}
 	s.jobs = jobs.NewManager(s.jobWorkers, qc)
+	if s.traceOpt != nil {
+		opt := *s.traceOpt
+		if opt.Node == "" && s.cluster != nil {
+			opt.Node = s.cluster.Self()
+		}
+		s.trace = trace.NewRecorder(opt)
+	}
+	s.registerRuntimeGauges()
 	if s.store != nil && s.cluster != nil {
 		// Write-through replication: every locally tuned plan lands on
 		// the fingerprint's other replicas before the response returns.
@@ -497,6 +520,10 @@ func (s *Server) Store() *store.Store { return s.store }
 // load harnesses use it to reconcile server-side totals against their
 // own counts.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// TraceRecorder exposes the per-node trace recorder (nil without
+// WithTrace); load harnesses audit its counters after a run.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.trace }
 
 // evictOneLocked drops an arbitrary completed plan entry; in-flight
 // entries are kept so coalesced waiters stay attached. Call with mu
@@ -535,6 +562,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/view", s.wrap("/cluster/view", nil, s.handleClusterViewPost))
 	mux.HandleFunc("POST /cluster/fetch", s.wrap("/cluster/fetch", nil, s.handleClusterFetch))
 	mux.HandleFunc("GET /cluster/records", s.wrap("/cluster/records", nil, s.handleClusterRecords))
+	mux.HandleFunc("GET /cluster/events", s.wrap("/cluster/events", nil, s.handleClusterEvents))
+	mux.HandleFunc("GET /debug/traces", s.wrap("/debug/traces", nil, s.handleDebugTraces))
 	return mux
 }
 
@@ -620,7 +649,13 @@ func responseFromRecord(rec store.Record) *TuneResponse {
 func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (*TuneResponse, *schedule.Analyzer, error) {
 	fp := ws.fingerprint()
 	if s.store != nil {
+		// The store-check span covers the local lookup plus the peer
+		// fetch sweep; its ctx stays local so the search span that may
+		// follow is a sibling, not a child.
+		sctx, ssp := trace.StartSpan(ctx, "store-check")
 		if rec, ok := s.store.Get(fp); ok {
+			ssp.Annotate("outcome", "local-hit")
+			ssp.End()
 			s.storeHits.Add(1)
 			return responseFromRecord(rec), nil, nil
 		}
@@ -632,25 +667,45 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 			// of cheap peer lookups keeps "one search per fingerprint"
 			// true across every join/drain/kill, at a cost that is noise
 			// next to one tuner run.
-			if rec, ok := s.fetchRecordFromPeers(ctx, fp); ok {
+			if rec, ok := s.fetchRecordFromPeers(sctx, fp); ok {
+				ssp.Annotate("outcome", "peer-hit")
+				ssp.End()
 				return responseFromRecord(rec), nil, nil
 			}
 		}
+		ssp.Annotate("outcome", "miss")
+		ssp.End()
 	}
 	s.tunesRun.Add(1)
+	// The prepare span covers tuner construction (operator DB +
+	// interference fit — real milliseconds) and the warm-start
+	// neighbor lookup; without it the gap between store-check and
+	// search would be unaccounted trace time.
+	_, psp := trace.StartSpan(ctx, "prepare")
 	tn, err := core.New(w, cl, space)
 	if err != nil {
+		psp.Annotate("error", err.Error())
+		psp.End()
 		return nil, nil, &badRequestError{err}
 	}
 	if s.store != nil {
 		if nb, ok := s.store.Nearest(fp); ok {
 			tn.Warm = nb.Plan
+			psp.Annotate("warmNeighbor", true)
 		}
 	}
-	res, err := tn.TuneContext(ctx)
+	psp.End()
+	tctx, tsp := trace.StartSpan(ctx, "search")
+	res, err := tn.TuneContext(tctx)
 	if err != nil {
+		tsp.Annotate("error", err.Error())
+		tsp.End()
 		return nil, nil, err
 	}
+	tsp.Annotate("candidates", res.Candidates)
+	tsp.Annotate("sgPairs", res.SGPairs)
+	tsp.Annotate("warmStarted", res.WarmStarted)
+	tsp.End()
 	if res.WarmStarted {
 		s.warmStarts.Add(1)
 	}
@@ -671,8 +726,10 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 	}
 	if s.store != nil {
 		// Best-effort write-through: a full disk must not fail the
-		// request — the plan is still correct and cached in memory.
-		if rec, err := s.store.Put(store.Record{
+		// request — the plan is still correct and cached in memory. The
+		// request context rides into the OnPut replication hook so the
+		// replication round joins this request's trace.
+		if rec, err := s.store.PutCtx(ctx, store.Record{
 			Fingerprint:    fp,
 			Plan:           res.Plan,
 			Predicted:      res.Predicted,

@@ -1,0 +1,218 @@
+package serve_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// collectPortions folds every node's trace ring into one slice.
+func collectPortions(lc *serve.LocalCluster, f trace.Filter) []trace.TraceData {
+	var out []trace.TraceData
+	for _, id := range lc.IDs() {
+		out = append(out, lc.Node(id).TraceRecorder().Traces(f)...)
+	}
+	return out
+}
+
+// The tentpole, end to end: one cold /tune through a non-owner of a
+// 3-node cluster yields ONE connected trace — a single root portion on
+// the ingress node, hop portions on the owner (and replica) stitched in
+// by X-Mist-Trace/X-Mist-Span, every span's parent resolvable, and the
+// phase spans accounting for the wall time at each level of the tree.
+func TestTraceForwardedTuneIsOneConnectedTrace(t *testing.T) {
+	lc, err := serve.NewLocalCluster(serve.LocalClusterOptions{
+		Nodes:    3,
+		Replicas: 2,
+		ServerOptions: []serve.Option{
+			serve.WithJobWorkers(2),
+			serve.WithTrace(trace.Options{SampleEvery: 1}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	spec := clusterSpec(768)
+	key, err := spec.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := lc.Cluster("n1").Owner(key)
+	ingress := "n1"
+	if owner == ingress {
+		ingress = "n2"
+	}
+
+	t0 := time.Now()
+	rec := do(t, lc.Handler(ingress), http.MethodPost, "/tune", nil,
+		serve.TuneRequest{WorkloadSpec: spec}, nil)
+	wall := time.Since(t0)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tune via %s: %d %s", ingress, rec.Code, rec.Body.String())
+	}
+
+	// The request is done, so every recorder must be quiescent: a span
+	// left open would hold its portion out of the ring forever.
+	for _, id := range lc.IDs() {
+		if st := lc.Node(id).TraceRecorder().Stats(); st.OpenSpans != 0 {
+			t.Fatalf("node %s: %d spans still open after the response", id, st.OpenSpans)
+		}
+	}
+
+	// The /tune ingress sampled exactly one local trace; the hops it
+	// caused (forward, peer fetches, replication) must have joined it
+	// rather than starting their own.
+	portions := collectPortions(lc, trace.Filter{})
+	if len(portions) == 0 {
+		t.Fatal("no trace portions published")
+	}
+	tid := portions[0].TraceID
+	var root *trace.TraceData
+	spans := map[string]trace.SpanData{}      // span id -> span, across the fleet
+	spanNode := map[string]string{}           // span id -> node
+	children := map[string][]trace.SpanData{} // parent id -> spans
+	for i := range portions {
+		p := portions[i]
+		if p.TraceID != tid {
+			t.Fatalf("more than one trace id in the fleet: %s and %s", tid, p.TraceID)
+		}
+		if p.Root {
+			if root != nil {
+				t.Fatalf("two root portions (nodes %s and %s)", root.Node, p.Node)
+			}
+			root = &portions[i]
+		}
+		for _, sp := range p.Spans {
+			spans[sp.ID] = sp
+			spanNode[sp.ID] = p.Node
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	if root == nil {
+		t.Fatal("no root portion published")
+	}
+	if root.Node != ingress {
+		t.Errorf("root portion on %s, want ingress %s", root.Node, ingress)
+	}
+	if root.RequestID == "" {
+		t.Error("root portion lost its request id")
+	}
+
+	// Every span except the ingress root links to a live parent — the
+	// cross-node links (hop root -> forward span, fetch/replicate hop
+	// roots -> store-check/replication spans) resolve through the union.
+	var rootSpan trace.SpanData
+	for _, sp := range spans {
+		if sp.Parent == "" {
+			if rootSpan.ID != "" {
+				t.Fatalf("two parentless spans: %q and %q", rootSpan.Name, sp.Name)
+			}
+			rootSpan = sp
+			continue
+		}
+		if _, ok := spans[sp.Parent]; !ok {
+			t.Errorf("span %q (node %s) has unresolvable parent %s", sp.Name, spanNode[sp.ID], sp.Parent)
+		}
+	}
+	if rootSpan.Name != "POST /tune" || spanNode[rootSpan.ID] != ingress {
+		t.Fatalf("trace root is %q on %s, want POST /tune on %s", rootSpan.Name, spanNode[rootSpan.ID], ingress)
+	}
+
+	// The ingress level: admission + forward under the root.
+	byName := func(parent string, node string) map[string]trace.SpanData {
+		m := map[string]trace.SpanData{}
+		for _, sp := range children[parent] {
+			if spanNode[sp.ID] == node {
+				m[sp.Name] = sp
+			}
+		}
+		return m
+	}
+	ingressKids := byName(rootSpan.ID, ingress)
+	for _, name := range []string{"admission", "forward"} {
+		if _, ok := ingressKids[name]; !ok {
+			t.Errorf("ingress root has no %q child (got %v)", name, names(children[rootSpan.ID]))
+		}
+	}
+
+	// The hop: the owner's local root is parented under the ingress
+	// forward span, and carries the owner-side phases.
+	fwd := ingressKids["forward"]
+	hopKids := byName(fwd.ID, owner)
+	hopRoot, ok := hopKids["POST /tune"]
+	if !ok {
+		t.Fatalf("owner hop root not parented under the forward span (children: %v)", names(children[fwd.ID]))
+	}
+	ownerKids := byName(hopRoot.ID, owner)
+	for _, name := range []string{"store-check", "search", "replication"} {
+		if _, ok := ownerKids[name]; !ok {
+			t.Errorf("owner hop has no %q child (got %v)", name, names(children[hopRoot.ID]))
+		}
+	}
+
+	// Phase coverage, level by level: at each level of the tree the
+	// direct children must account for the parent's measured time — a
+	// large gap means an uninstrumented phase. The slack floor absorbs
+	// scheduler noise on very fast levels.
+	coverage := func(level string, parentDur time.Duration, kids map[string]trace.SpanData) {
+		var sum time.Duration
+		for _, sp := range kids {
+			sum += time.Duration(sp.DurationNs)
+		}
+		slack := parentDur / 10
+		if slack < 5*time.Millisecond {
+			slack = 5 * time.Millisecond
+		}
+		if sum > parentDur || parentDur-sum > slack {
+			t.Errorf("%s: children sum %v vs parent %v (slack %v): uninstrumented gap", level, sum, parentDur, slack)
+		}
+	}
+	coverage("ingress", time.Duration(rootSpan.DurationNs), ingressKids)
+	coverage("owner hop", time.Duration(hopRoot.DurationNs), ownerKids)
+	// And the root span itself accounts for the client-observed wall time.
+	if gap := wall - time.Duration(rootSpan.DurationNs); gap > wall/10+5*time.Millisecond {
+		t.Errorf("root span %v vs wall %v: trace misses %v of the request", time.Duration(rootSpan.DurationNs), wall, gap)
+	}
+}
+
+// An inbound X-Mist-Trace header forces recording even with local
+// sampling off (the edge decides once); without it the recorder stays
+// idle and the request runs the nil-span fast path.
+func TestTraceHeaderForcedRecording(t *testing.T) {
+	s := serve.New(serve.WithTrace(trace.Options{SampleEvery: 0}))
+	defer s.Close()
+	h := s.Handler()
+
+	rec := do(t, h, http.MethodPost, "/tune", nil,
+		serve.TuneRequest{WorkloadSpec: clusterSpec(896)}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("untraced tune: %d %s", rec.Code, rec.Body.String())
+	}
+	if st := s.TraceRecorder().Stats(); st.SpansStarted != 0 {
+		t.Fatalf("sampling off but %d spans started", st.SpansStarted)
+	}
+
+	rec = do(t, h, http.MethodPost, "/tune",
+		map[string]string{trace.HeaderTrace: "00f0e2e000000001"},
+		serve.TuneRequest{WorkloadSpec: clusterSpec(896)}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced tune: %d %s", rec.Code, rec.Body.String())
+	}
+	got := s.TraceRecorder().Traces(trace.Filter{TraceID: "00f0e2e000000001"})
+	if len(got) != 1 || !got[0].Root {
+		t.Fatalf("forced trace not recorded: %+v", got)
+	}
+}
+
+func names(spans []trace.SpanData) []string {
+	var out []string
+	for _, sp := range spans {
+		out = append(out, sp.Name)
+	}
+	return out
+}

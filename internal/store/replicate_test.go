@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ import (
 func TestOnPutHookFiresForPutNotApply(t *testing.T) {
 	s := InMemory()
 	var seen []Record
-	s.SetOnPut(func(rec Record) {
+	s.SetOnPut(func(_ context.Context, rec Record) {
 		// Re-entrancy: the hook must be able to read the store (the
 		// cluster tier computes replica targets while holding nothing).
 		_ = s.Len()

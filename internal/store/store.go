@@ -20,6 +20,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -98,10 +99,11 @@ type Store struct {
 	recs map[string]Record
 
 	// onPut, when set, observes every locally originated write (Put) —
-	// the cluster tier hangs its write-through replication here. It is
-	// deliberately NOT fired by Apply, so replicated records never
-	// re-replicate.
-	onPut func(Record)
+	// the cluster tier hangs its write-through replication here. The
+	// context is the writer's (PutCtx), carrying request identity and
+	// trace spans into replication; it is deliberately NOT fired by
+	// Apply, so replicated records never re-replicate.
+	onPut func(context.Context, Record)
 
 	// LoadSkipped counts directory entries that existed but could not be
 	// decoded as records at Open time (corrupt or foreign files); they
@@ -230,18 +232,27 @@ func (s *Store) Delete(f Fingerprint) error {
 }
 
 // SetOnPut installs the write-through hook, called (outside the store
-// lock) after every successful Put with the record as stored. Install
-// before serving traffic; one hook at a time.
-func (s *Store) SetOnPut(fn func(Record)) {
+// lock) after every successful Put with the writer's context and the
+// record as stored. Install before serving traffic; one hook at a time.
+func (s *Store) SetOnPut(fn func(context.Context, Record)) {
 	s.mu.Lock()
 	s.onPut = fn
 	s.mu.Unlock()
 }
 
-// Put indexes (and, when directory-backed, durably writes) a record,
+// Put indexes a record without caller context — hook observers see a
+// background context. Prefer PutCtx on request paths so request
+// identity and trace spans reach the hook.
+func (s *Store) Put(rec Record) (Record, error) {
+	return s.PutCtx(context.Background(), rec)
+}
+
+// PutCtx indexes (and, when directory-backed, durably writes) a record,
 // bumping the fingerprint's version. The caller's Version/UpdatedAt are
 // overwritten; the record as stored (version assigned) is returned.
-func (s *Store) Put(rec Record) (Record, error) {
+// ctx is not a cancellation point for the write itself (a plan already
+// computed is always worth persisting); it only flows to the onPut hook.
+func (s *Store) PutCtx(ctx context.Context, rec Record) (Record, error) {
 	if rec.Plan == nil {
 		return Record{}, fmt.Errorf("store: refusing to store a nil plan for %s", rec.Fingerprint.Key())
 	}
@@ -268,7 +279,7 @@ func (s *Store) Put(rec Record) (Record, error) {
 	// The hook runs outside both locks: replication does network work
 	// and must not serialize against concurrent reads and writes.
 	if hook != nil {
-		hook(rec)
+		hook(ctx, rec)
 	}
 	return rec, nil
 }

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, sp := r.StartTrace(context.Background(), "root", "rid")
+	if sp != nil {
+		t.Fatalf("nil recorder produced a span")
+	}
+	ctx, sp = r.ContinueTrace(ctx, "root", "abc", "", "rid")
+	if sp != nil {
+		t.Fatalf("nil recorder continued a trace")
+	}
+	if got := r.Stats(); got != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", got)
+	}
+	if r.Traces(Filter{}) != nil {
+		t.Fatalf("nil recorder returned traces")
+	}
+	// Nil span: every method is a no-op.
+	sp.Annotate("k", 1)
+	sp.End()
+	if sp.ID() != "" || sp.TraceID() != "" {
+		t.Fatalf("nil span has identity")
+	}
+	// No active span: StartSpan passes the context through untouched.
+	ctx2, child := StartSpan(ctx, "child")
+	if child != nil || ctx2 != ctx {
+		t.Fatalf("StartSpan without active span allocated state")
+	}
+	h := http.Header{}
+	Inject(ctx, h)
+	if len(h) != 0 {
+		t.Fatalf("Inject without active span wrote headers: %v", h)
+	}
+}
+
+func TestSpanTreePublishes(t *testing.T) {
+	r := NewRecorder(Options{Node: "n1", Capacity: 8, SampleEvery: 1})
+	ctx, root := r.StartTrace(context.Background(), "ingress", "req-1")
+	if root == nil {
+		t.Fatalf("SampleEvery=1 did not sample")
+	}
+	ctx1, a := StartSpan(ctx, "admission")
+	a.Annotate("waitedMs", 0)
+	a.End()
+	_, b := StartSpan(ctx1, "search")
+	b.End()
+	if got := r.Traces(Filter{}); len(got) != 0 {
+		t.Fatalf("trace published before root ended: %d", len(got))
+	}
+	root.Annotate("code", 200)
+	root.End()
+
+	got := r.Traces(Filter{})
+	if len(got) != 1 {
+		t.Fatalf("published %d traces, want 1", len(got))
+	}
+	td := got[0]
+	if !td.Root || td.Node != "n1" || td.RequestID != "req-1" || td.TraceID != root.TraceID() {
+		t.Fatalf("trace meta wrong: %+v", td)
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["ingress"].Parent != "" {
+		t.Fatalf("root span has parent %q", byName["ingress"].Parent)
+	}
+	if byName["admission"].Parent != byName["ingress"].ID {
+		t.Fatalf("admission parent = %q, want root %q", byName["admission"].Parent, byName["ingress"].ID)
+	}
+	// The "search" span was started from the admission span's context.
+	if byName["search"].Parent != byName["admission"].ID {
+		t.Fatalf("search parent = %q, want %q", byName["search"].Parent, byName["admission"].ID)
+	}
+	if byName["admission"].Attrs["waitedMs"] != 0 {
+		t.Fatalf("annotation lost: %+v", byName["admission"].Attrs)
+	}
+	st := r.Stats()
+	if st.SpansStarted != 3 || st.SpansEnded != 3 || st.OpenSpans != 0 ||
+		st.TracesPublished != 1 || st.RootsPublished != 1 || st.TracesDropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestContinueTraceIsHopPortion(t *testing.T) {
+	ingress := NewRecorder(Options{Node: "n1", Capacity: 8, SampleEvery: 1})
+	owner := NewRecorder(Options{Node: "n2", Capacity: 8})
+
+	ctx, root := ingress.StartTrace(context.Background(), "tune", "req-7")
+	fctx, fwd := StartSpan(ctx, "forward")
+
+	// The hop: headers cross the wire, the owner continues the trace.
+	h := http.Header{}
+	Inject(fctx, h)
+	if h.Get(HeaderTrace) != root.TraceID() || h.Get(HeaderSpan) != fwd.ID() {
+		t.Fatalf("injected headers wrong: %v", h)
+	}
+	octx, hop := owner.ContinueTrace(context.Background(), "tune", h.Get(HeaderTrace), h.Get(HeaderSpan), "req-7")
+	_, search := StartSpan(octx, "search")
+	search.End()
+	hop.End()
+	fwd.End()
+	root.End()
+
+	op := owner.Traces(Filter{TraceID: root.TraceID()})
+	if len(op) != 1 {
+		t.Fatalf("owner published %d portions, want 1", len(op))
+	}
+	if op[0].Root {
+		t.Fatalf("hop portion claims to be a root")
+	}
+	if op[0].TraceID != root.TraceID() {
+		t.Fatalf("hop portion trace id %q, want %q", op[0].TraceID, root.TraceID())
+	}
+	var hopRoot SpanData
+	for _, sp := range op[0].Spans {
+		if sp.Name == "tune" {
+			hopRoot = sp
+		}
+	}
+	if hopRoot.Parent != fwd.ID() {
+		t.Fatalf("hop root parent %q, want forward span %q", hopRoot.Parent, fwd.ID())
+	}
+	ip := ingress.Traces(Filter{})
+	if len(ip) != 1 || !ip[0].Root {
+		t.Fatalf("ingress portion wrong: %+v", ip)
+	}
+	if owner.Stats().RootsPublished != 0 {
+		t.Fatalf("hop portion counted as root")
+	}
+}
+
+func TestLateSpansPublishAsSecondPortion(t *testing.T) {
+	r := NewRecorder(Options{Node: "n1", Capacity: 8, SampleEvery: 1})
+	ctx, root := r.StartTrace(context.Background(), "submit", "req-9")
+	// An async job span outlives the HTTP root span.
+	_, job := StartSpan(ctx, "job")
+	root.End()
+	if n := len(r.Traces(Filter{})); n != 0 {
+		t.Fatalf("published with a span still open: %d portions", n)
+	}
+	job.End()
+	if n := len(r.Traces(Filter{})); n != 1 {
+		t.Fatalf("first portion count = %d", n)
+	}
+	// A straggler attached after publication lands in a second portion
+	// under the same trace id rather than vanishing.
+	late := root.st.startSpan("late", root.ID())
+	late.End()
+	got := r.Traces(Filter{TraceID: root.TraceID()})
+	if len(got) != 2 {
+		t.Fatalf("portions = %d, want 2", len(got))
+	}
+	if st := r.Stats(); st.OpenSpans != 0 || st.TracesPublished != 2 || st.RootsPublished != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 16, SampleEvery: 1})
+	var slowID string
+	for i := 0; i < 3; i++ {
+		_, root := r.StartTrace(context.Background(), "op", fmt.Sprintf("req-%d", i))
+		if i == 2 {
+			slowID = root.TraceID()
+			root.data.StartUnixNs -= int64(50 * time.Millisecond)
+			root.start = root.start.Add(-50 * time.Millisecond)
+		}
+		root.End()
+	}
+	if got := r.Traces(Filter{RequestID: "req-1"}); len(got) != 1 || got[0].RequestID != "req-1" {
+		t.Fatalf("request-id filter: %+v", got)
+	}
+	if got := r.Traces(Filter{MinDuration: 10 * time.Millisecond}); len(got) != 1 || got[0].TraceID != slowID {
+		t.Fatalf("min-duration filter: %+v", got)
+	}
+	if got := r.Traces(Filter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit filter returned %d", len(got))
+	}
+	// Newest first.
+	if got := r.Traces(Filter{}); got[0].RequestID != "req-2" || got[2].RequestID != "req-0" {
+		t.Fatalf("order wrong: %v, %v", got[0].RequestID, got[2].RequestID)
+	}
+}
+
+// TestRingBoundUnderConcurrency hammers one recorder from many
+// goroutines (runs under `make race`): the ring must stay within
+// capacity and the counters must reconcile exactly — published =
+// retained + dropped, and no span left open.
+func TestRingBoundUnderConcurrency(t *testing.T) {
+	const workers, perWorker, capacity = 8, 200, 32
+	r := NewRecorder(Options{Node: "n1", Capacity: capacity, SampleEvery: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, root := r.StartTrace(context.Background(), "op", fmt.Sprintf("w%d-%d", w, i))
+				ctx1, a := StartSpan(ctx, "phase-a")
+				a.Annotate("i", i)
+				_, b := StartSpan(ctx1, "phase-b")
+				b.End()
+				a.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	total := uint64(workers * perWorker)
+	if st.TracesPublished != total || st.RootsPublished != total {
+		t.Fatalf("published %d roots %d, want %d", st.TracesPublished, st.RootsPublished, total)
+	}
+	if st.OpenSpans != 0 || st.SpansStarted != 3*total || st.SpansEnded != 3*total {
+		t.Fatalf("span accounting broken: %+v", st)
+	}
+	got := r.Traces(Filter{})
+	if len(got) != capacity {
+		t.Fatalf("ring holds %d, want exactly capacity %d", len(got), capacity)
+	}
+	if st.TracesDropped != total-capacity {
+		t.Fatalf("dropped %d, want %d", st.TracesDropped, total-capacity)
+	}
+	for _, td := range got {
+		if len(td.Spans) != 3 || !td.Root {
+			t.Fatalf("retained portion malformed: %+v", td)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 64, SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		_, sp := r.StartTrace(context.Background(), "op", "")
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 at every-4", sampled)
+	}
+	// SampleEvery 0: local origination off, header-forced continuation on.
+	off := NewRecorder(Options{Capacity: 4})
+	if _, sp := off.StartTrace(context.Background(), "op", ""); sp != nil {
+		t.Fatalf("SampleEvery=0 sampled a local trace")
+	}
+	if _, sp := off.ContinueTrace(context.Background(), "op", "deadbeefdeadbeef", "", ""); sp == nil {
+		t.Fatalf("header-forced continuation refused")
+	}
+}
+
+// BenchmarkTraceOverhead pins the recorder's two costs: "off" is the
+// nil fast path every request pays when tracing is disabled (must stay
+// allocation-free), "on" is the full root+child record-and-publish
+// path a sampled request pays.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		var r *Recorder
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx2, root := r.StartTrace(ctx, "op", "rid")
+			ctx3, sp := StartSpan(ctx2, "phase")
+			sp.End()
+			_, sp2 := StartSpan(ctx3, "phase2")
+			sp2.End()
+			root.End()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		r := NewRecorder(Options{Node: "bench", Capacity: 64, SampleEvery: 1})
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx2, root := r.StartTrace(ctx, "op", "rid")
+			ctx3, sp := StartSpan(ctx2, "phase")
+			sp.End()
+			_, sp2 := StartSpan(ctx3, "phase2")
+			sp2.End()
+			root.End()
+		}
+	})
+}
