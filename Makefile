@@ -9,7 +9,10 @@ BENCH_OUT ?= BENCH.json
 # Allowed fractional ns/op growth before bench-regression fails.
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: ci vet build test race property bench bench-json bench-regression serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke
+# Where bench-profile drops its pprof output.
+PROFILE_DIR ?= profiles
+
+.PHONY: ci vet build test race property bench bench-json bench-regression bench-profile serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke
 
 ci: lint build race property ## full tier-1 + race + property gate
 
@@ -69,6 +72,12 @@ bench-json: ## run the bench set and record a machine-readable trajectory point 
 bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op or allocs/op growth
 	$(MAKE) bench-json BENCH_OUT=BENCH_NEW.json
 	$(GO) run ./tools/bench2json -tolerance $(BENCH_TOLERANCE) -compare BENCH.json BENCH_NEW.json
+
+bench-profile: ## CPU + heap profiles of the cold-search benchmark; inspect with `go tool pprof $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/cpu.pprof`
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) test -run xxx -bench 'BenchmarkTuneMemoizedCold' -benchtime=3x -benchmem \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/mem.pprof \
+		-o $(PROFILE_DIR)/bench.test .
 
 serve: ## run the tuning service locally
 	$(GO) run ./cmd/mistserve -addr :8080

@@ -1,0 +1,156 @@
+package mist
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// The cold-search determinism contract: for a fixed workload, cluster and
+// space, the tuner returns one exact plan, independent of caching,
+// scheduling, incumbent pruning, or any other speed machinery. The catalog
+// below crosses the tuner's code paths (full Mist space, restricted
+// baseline spaces, the serialize/overlap-unaware path, the uniform-stage
+// heuristic, heterogeneous device assignment, and both hardware platforms)
+// and pins every chosen plan byte-for-byte in testdata/golden_plans.json.
+//
+// Regenerate with `go test -run TestGoldenColdPlans -update .` — only when
+// a change is *supposed* to alter tuned plans, which warrants a review of
+// every diff line.
+
+type goldenCase struct {
+	Name     string
+	Model    string
+	Seq      int
+	Flash    bool
+	Batch    int
+	GPUs     int
+	Platform string // "l4" or "a100"
+	Space    string
+}
+
+func goldenCatalog() []goldenCase {
+	return []goldenCase{
+		{Name: "bench-mist-l4x8", Model: "gpt3-2.7b", Seq: 2048, Flash: true, Batch: 8, GPUs: 8, Platform: "l4", Space: "mist"},
+		{Name: "small-mist-l4x2", Model: "gpt3-1.3b", Seq: 2048, Flash: true, Batch: 8, GPUs: 2, Platform: "l4", Space: "mist"},
+		{Name: "mist-a100x4", Model: "gpt3-2.7b", Seq: 2048, Flash: true, Batch: 8, GPUs: 4, Platform: "a100", Space: "mist"},
+		{Name: "deepspeed-l4x4", Model: "gpt3-2.7b", Seq: 2048, Flash: true, Batch: 8, GPUs: 4, Platform: "l4", Space: "deepspeed"},
+		{Name: "aceso-l4x4", Model: "gpt3-2.7b", Seq: 2048, Flash: true, Batch: 8, GPUs: 4, Platform: "l4", Space: "aceso"},
+		{Name: "threed-l4x4", Model: "gpt3-1.3b", Seq: 2048, Flash: false, Batch: 16, GPUs: 4, Platform: "l4", Space: "3d"},
+		{Name: "uniform-l4x4", Model: "gpt3-2.7b", Seq: 2048, Flash: true, Batch: 8, GPUs: 4, Platform: "l4", Space: "uniform"},
+		{Name: "hetero-l4x4", Model: "gpt3-1.3b", Seq: 2048, Flash: true, Batch: 8, GPUs: 4, Platform: "l4", Space: "hetero"},
+	}
+}
+
+func goldenSpace(t *testing.T, name string) Space {
+	t.Helper()
+	switch name {
+	case "mist":
+		return MistSpace()
+	case "deepspeed":
+		return DeepSpeedSpace()
+	case "aceso":
+		return AcesoSpace()
+	case "3d":
+		return ThreeDSpace()
+	case "uniform":
+		return UniformSpace()
+	case "hetero":
+		s := MistSpace()
+		s.Name = "hetero"
+		s.HeterogeneousDevices = true
+		return s
+	default:
+		t.Fatalf("unknown golden space %q", name)
+		return Space{}
+	}
+}
+
+// goldenPlan is the recorded outcome of one catalog entry. Predicted is
+// the Eq. 2 objective; both it and every plan field must reproduce
+// exactly (JSON round-trips float64 losslessly).
+type goldenPlan struct {
+	Plan      *Plan
+	Predicted float64
+}
+
+func (gc goldenCase) run(t *testing.T) goldenPlan {
+	t.Helper()
+	w := Workload{Model: Model(gc.Model), Seq: gc.Seq, Flash: gc.Flash, GlobalBatch: gc.Batch}
+	var cl *Cluster
+	switch gc.Platform {
+	case "a100":
+		cl = A100Cluster(gc.GPUs)
+	default:
+		cl = L4Cluster(gc.GPUs)
+	}
+	res, err := TuneWithSpace(w, cl, goldenSpace(t, gc.Space))
+	if err != nil {
+		t.Fatalf("%s: %v", gc.Name, err)
+	}
+	return goldenPlan{Plan: res.Plan, Predicted: res.Predicted}
+}
+
+func TestGoldenColdPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold catalog sweep: skipped with -short")
+	}
+	path := filepath.Join("testdata", "golden_plans.json")
+	got := make(map[string]goldenPlan)
+	for _, gc := range goldenCatalog() {
+		gc := gc
+		t.Run(gc.Name, func(t *testing.T) {
+			got[gc.Name] = gc.run(t)
+		})
+	}
+	if t.Failed() {
+		return
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden: wrote %d plans to %s", len(got), path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: %v (regenerate with -update)", err)
+	}
+	want := make(map[string]goldenPlan)
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("golden: corrupt %s: %v", path, err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("golden: case %s missing from %s (regenerate with -update)", name, path)
+			continue
+		}
+		if g.Predicted != w.Predicted {
+			t.Errorf("golden %s: predicted objective %v, want %v", name, g.Predicted, w.Predicted)
+		}
+		if !reflect.DeepEqual(g.Plan, w.Plan) {
+			t.Errorf("golden %s: plan drifted\n got: %+v\nwant: %+v", name, g.Plan, w.Plan)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden: recorded case %s no longer in catalog", name)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/evalcache"
 	"repro/internal/schedule"
 )
 
@@ -23,6 +24,41 @@ type candidate struct {
 	Mem   float64
 }
 
+// evalScratch is the per-pricing-goroutine buffer set: the cache/analyzer
+// scratch plus a reusable result slice. Pooled because intraStage's inner
+// fan-out borrows transient goroutines.
+type evalScratch struct {
+	cs  evalcache.Scratch
+	dst []schedule.Result
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// sweepScratch is the per-intraStage-call buffer set: the shape list, the
+// per-shape output table, one arena backing every shape's candidate
+// segment, and the Pareto sort buffers. One sweepScratch serves a whole
+// (S, G) pair's stage loop (tuneSG holds it for the pair's lifetime);
+// candidates are value-copied out by paretoSample before reuse.
+type sweepScratch struct {
+	shapes []schedule.StageShape
+	outs   []shapeOut
+	arena  []candidate
+	sorted []candidate
+	front  []candidate
+}
+
+var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// shapeOut is one shape's pricing outcome: its candidate segment (backed
+// by the sweep arena), the number of evaluator candidates actually
+// priced (0 when the shape was never claimed or errored before pricing),
+// and any error.
+type shapeOut struct {
+	cands []candidate
+	n     int
+	err   error
+}
+
 // intraStage enumerates and prices every (b, DP, TP, ZeRO, CKPT, WO, GO,
 // OO, AO) combination for one pipeline stage position and one layer
 // count, returning the feasible candidates. This is the paper's
@@ -34,63 +70,21 @@ type candidate struct {
 // error) would otherwise push boundary plans into OOM at execution.
 const planSafetyFraction = 0.96
 
-func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate, int, error) {
+// The returned candidate slice is backed by sc's arena and only valid
+// until the next intraStage call on the same scratch; the evaluated
+// count is exact — it tallies precisely the candidates the evaluator
+// priced, including shapes whose batches completed after another shape
+// failed, so it reconciles with the cache's hit/miss counters.
+func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int, sc *sweepScratch) ([]candidate, int, error) {
 	budget := t.Cluster.MemoryBudget() * planSafetyFraction
-	grid := t.Space.offloadGrid()
-	zeroOnly := []float64{0}
-	woGrid, goGrid, ooGrid, aoGrid := zeroOnly, zeroOnly, zeroOnly, zeroOnly
-	if t.Space.TuneWO {
-		woGrid = grid
-	}
-	if t.Space.TuneGO {
-		goGrid = grid
-	}
-	if t.Space.TuneOO {
-		ooGrid = grid
-	}
-	if t.Space.TuneAO {
-		aoGrid = grid
-	}
-
-	// Checkpoint grid for this layer count.
-	ckptSet := map[int]bool{}
-	var ckpts []int
-	for _, f := range t.Space.ckptFractions() {
-		c := int(f*float64(layers) + 0.5)
-		if c < 0 {
-			c = 0
-		}
-		if c > layers {
-			c = layers
-		}
-		if !ckptSet[c] {
-			ckptSet[c] = true
-			ckpts = append(ckpts, c)
-		}
-	}
-	sort.Ints(ckpts)
-
-	// Knob batch shared across shapes.
-	var knobs []schedule.Knobs
-	for _, ck := range ckpts {
-		for _, wo := range woGrid {
-			for _, gov := range goGrid {
-				for _, oo := range ooGrid {
-					for _, ao := range aoGrid {
-						knobs = append(knobs, schedule.Knobs{
-							Layers: layers, Ckpt: ck, WO: wo, GO: gov, OO: oo, AO: ao,
-						})
-					}
-				}
-			}
-		}
-	}
+	set := t.knobSet(layers)
+	knobs := set.Knobs()
 
 	// Enumerate the stage shapes, then price them on a bounded worker
 	// pool (the intra-stage counterpart of Tune's (S, G) fan-out). The
 	// per-shape candidate slices are reassembled in enumeration order so
 	// the search stays deterministic regardless of scheduling.
-	var shapes []schedule.StageShape
+	shapes := sc.shapes[:0]
 	for _, pt := range t.parallelisms(devPerStage, g) {
 		for _, zero := range t.Space.zeroLevels() {
 			if zero > 0 && pt.dp == 1 {
@@ -103,29 +97,41 @@ func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate
 			})
 		}
 	}
+	sc.shapes = shapes
 
-	type shapeOut struct {
-		cands []candidate
-		err   error
+	if cap(sc.outs) < len(shapes) {
+		sc.outs = make([]shapeOut, len(shapes))
 	}
-	outs := make([]shapeOut, len(shapes))
-	ev := t.evaluator()
-	price := func(i int) {
+	outs := sc.outs[:len(shapes)]
+	for i := range outs {
+		outs[i] = shapeOut{}
+	}
+	// Disjoint per-shape arena segments let concurrent workers append
+	// candidates without synchronization or per-shape allocations.
+	if need := len(shapes) * len(knobs); cap(sc.arena) < need {
+		sc.arena = make([]candidate, need)
+	}
+	arena := sc.arena[:cap(sc.arena)]
+
+	price := func(i int, es *evalScratch) {
 		shape := shapes[i]
-		results, err := ev.EvaluateBatch(shape, knobs)
+		results, err := t.priceBatch(shape, set, es)
 		if err != nil {
 			outs[i].err = err
 			return
 		}
+		seg := arena[i*len(knobs) : i*len(knobs) : (i+1)*len(knobs)]
 		for j, r := range results {
 			if !r.Fits(budget) {
 				continue
 			}
-			outs[i].cands = append(outs[i].cands, candidate{
+			seg = append(seg, candidate{
 				Shape: shape, Knobs: knobs[j],
 				T: r.Stable, D: r.Delta, Mem: r.PeakMem,
 			})
 		}
+		outs[i].cands = seg
+		outs[i].n = len(knobs)
 	}
 
 	// Jobs are claimed off an atomic counter. The caller always prices
@@ -135,6 +141,8 @@ func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate
 	// pools would multiply to ~P^2 runnable goroutines.
 	var next atomic.Int64
 	drain := func() {
+		es := evalScratchPool.Get().(*evalScratch)
+		defer evalScratchPool.Put(es)
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(shapes) {
@@ -146,7 +154,7 @@ func (t *Tuner) intraStage(s, g, stageIdx, devPerStage, layers int) ([]candidate
 				outs[i].err = err
 				return
 			}
-			price(i)
+			price(i, es)
 		}
 	}
 	var wg sync.WaitGroup
@@ -167,16 +175,52 @@ spawn:
 	drain()
 	wg.Wait()
 
-	var out []candidate
+	// Tally the exact evaluator traffic before surfacing any error:
+	// out-of-order workers may have priced (and counted in the cache)
+	// shapes beyond the first failure.
 	evaluated := 0
+	var firstErr error
 	for i := range outs {
-		if outs[i].err != nil {
-			return nil, evaluated, outs[i].err
+		evaluated += outs[i].n
+		if firstErr == nil && outs[i].err != nil {
+			firstErr = outs[i].err
 		}
-		evaluated += len(knobs)
+	}
+	if firstErr != nil {
+		return nil, evaluated, firstErr
+	}
+	// Compact the arena segments into one contiguous candidate list (in
+	// enumeration order). Segments are disjoint and arena-ordered, so the
+	// write cursor never passes a segment's start: copying down in place
+	// is safe.
+	out := arena[:0]
+	for i := range outs {
 		out = append(out, outs[i].cands...)
 	}
 	return out, evaluated, nil
+}
+
+// priceBatch prices one shape's knob set through the configured backend:
+// the interned-set fast path when the memo cache is active, the
+// analyzer's buffer-reusing batch when caching is off, or the generic
+// Evaluator interface when a test override is installed.
+func (t *Tuner) priceBatch(shape schedule.StageShape, set *evalcache.KnobSet, es *evalScratch) ([]schedule.Result, error) {
+	switch {
+	case t.evOverride != nil:
+		return t.evOverride.EvaluateBatch(shape, set.Knobs())
+	case t.NoCache || t.cache == nil:
+		results, err := t.An.EvaluateBatchInto(es.dst, shape, set.Knobs(), &es.cs.Eval)
+		if err == nil {
+			es.dst = results[:0]
+		}
+		return results, err
+	default:
+		results, err := t.cache.EvaluateSet(shape, set, es.dst, &es.cs)
+		if err == nil {
+			es.dst = results[:0]
+		}
+		return results, err
+	}
 }
 
 // parallelism is one feasible (tp, dp, b) split of a stage's devices.
@@ -212,19 +256,26 @@ func (t *Tuner) parallelisms(devPerStage, g int) []parallelism {
 
 // paretoSample reduces a candidate set to K points on its (t, d) Pareto
 // frontier using the paper's dual-objective sweep (Eq. 4): for uniformly
-// sampled α in [0, 1], keep argmin α·G·t + (1−α)·d.
-func paretoSample(cands []candidate, g, k int) []candidate {
+// sampled α in [0, 1], keep argmin α·G·t + (1−α)·d. With K == 1 the
+// single sample uses α = 1 (pure stable-time minimization — the point a
+// throughput-greedy planner would keep; α = 0/0 would be NaN).
+// The returned slice is freshly allocated (it outlives the scratch); the
+// scratch backs the frontier sort buffers.
+func paretoSample(cands []candidate, g, k int, sc *sweepScratch) []candidate {
 	if len(cands) == 0 {
 		return nil
 	}
-	front := paretoFrontier(cands)
+	front := paretoFrontier(cands, sc)
 	if len(front) <= k {
-		return front
+		return append([]candidate(nil), front...)
 	}
 	picked := map[int]bool{}
 	var out []candidate
 	for i := 0; i < k; i++ {
-		alpha := float64(i) / float64(k-1)
+		alpha := 1.0
+		if k > 1 {
+			alpha = float64(i) / float64(k-1)
+		}
 		bestIdx, bestVal := -1, 0.0
 		for j, c := range front {
 			v := alpha*float64(g)*c.T + (1-alpha)*c.D
@@ -241,16 +292,21 @@ func paretoSample(cands []candidate, g, k int) []candidate {
 }
 
 // paretoFrontier keeps the non-dominated candidates: c dominates c' when
-// c.T <= c'.T and c.D <= c'.D with at least one strict.
-func paretoFrontier(cands []candidate) []candidate {
-	sorted := append([]candidate(nil), cands...)
+// c.T <= c'.T and c.D <= c'.D with at least one strict. The returned
+// slice is backed by sc and valid until its next use.
+func paretoFrontier(cands []candidate, sc *sweepScratch) []candidate {
+	if cap(sc.sorted) < len(cands) {
+		sc.sorted = make([]candidate, 0, len(cands))
+	}
+	sorted := append(sc.sorted[:0], cands...)
+	sc.sorted = sorted
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].T != sorted[j].T {
 			return sorted[i].T < sorted[j].T
 		}
 		return sorted[i].D < sorted[j].D
 	})
-	var front []candidate
+	front := sc.front[:0]
 	bestD := 0.0
 	for _, c := range sorted {
 		if len(front) == 0 || c.D < bestD {
@@ -258,5 +314,6 @@ func paretoFrontier(cands []candidate) []candidate {
 			bestD = c.D
 		}
 	}
+	sc.front = front
 	return front
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,14 +66,33 @@ type Tuner struct {
 	// zero-value Tuner falls back to the bare analyzer.
 	cache *evalcache.Cache
 
-	// Per-Tune warm-start state: the priced seed, its objective as the
-	// incumbent bound (0 disables pruning), and telemetry counters
-	// shared by the concurrent (S, G) workers. Written only before the
-	// workers spawn.
+	// evOverride, when set, replaces the pricing backend entirely
+	// (tests use it to inject evaluator failures and count attempts).
+	evOverride evalcache.Evaluator
+
+	// knobSets memoizes the interned knob batch per layer count: the
+	// batch depends only on (Space, layers), so it is built once and
+	// shared by every (S, G) worker and every search on this tuner.
+	knobMu   sync.Mutex
+	knobSets map[int]*evalcache.KnobSet
+
+	// Per-Tune search state: the priced warm seed, the global incumbent
+	// bound (float64 bits; +Inf when no solution is known yet), and
+	// telemetry counters shared by the concurrent (S, G) workers.
+	// incumbent is seeded from the warm objective and lowered by every
+	// completed pair, so later pairs prune against the best solution
+	// found so far — on cold searches too. All non-atomic fields are
+	// written only before the workers spawn.
 	warmSeed    *warmSeed
-	warmBound   float64
+	incumbent   atomic.Uint64
 	warmPruned  atomic.Int64
 	warmAborted atomic.Int64
+
+	// disableIncumbent stops completed pairs from feeding the incumbent
+	// bound (the warm seed still does). Tests use it to get
+	// run-to-run-deterministic candidate counts for a reference search;
+	// the chosen plan is identical either way.
+	disableIncumbent bool
 
 	// tuneCtx bounds the running search; canceling it makes
 	// TuneContext return the context's error.
@@ -82,10 +102,106 @@ type Tuner struct {
 // evaluator returns the pricing backend for this search: the memoizing
 // cache when available, the bare analyzer otherwise.
 func (t *Tuner) evaluator() evalcache.Evaluator {
+	if t.evOverride != nil {
+		return t.evOverride
+	}
 	if t.NoCache || t.cache == nil {
 		return t.An
 	}
 	return t.cache
+}
+
+// knobSet returns the interned knob batch for one layer count, building
+// it on first use: the checkpoint grid is quantized to the layer count
+// and crossed with the space's offload-ratio grids (identical to the
+// enumeration the intra-stage sweep always used, hoisted out of the
+// per-(stage, layer) hot path).
+func (t *Tuner) knobSet(layers int) *evalcache.KnobSet {
+	t.knobMu.Lock()
+	defer t.knobMu.Unlock()
+	if ks, ok := t.knobSets[layers]; ok {
+		return ks
+	}
+	grid := t.Space.offloadGrid()
+	zeroOnly := []float64{0}
+	woGrid, goGrid, ooGrid, aoGrid := zeroOnly, zeroOnly, zeroOnly, zeroOnly
+	if t.Space.TuneWO {
+		woGrid = grid
+	}
+	if t.Space.TuneGO {
+		goGrid = grid
+	}
+	if t.Space.TuneOO {
+		ooGrid = grid
+	}
+	if t.Space.TuneAO {
+		aoGrid = grid
+	}
+
+	// Checkpoint grid for this layer count.
+	ckptSet := map[int]bool{}
+	var ckpts []int
+	for _, f := range t.Space.ckptFractions() {
+		c := int(f*float64(layers) + 0.5)
+		if c < 0 {
+			c = 0
+		}
+		if c > layers {
+			c = layers
+		}
+		if !ckptSet[c] {
+			ckptSet[c] = true
+			ckpts = append(ckpts, c)
+		}
+	}
+	sort.Ints(ckpts)
+
+	var knobs []schedule.Knobs
+	for _, ck := range ckpts {
+		for _, wo := range woGrid {
+			for _, gov := range goGrid {
+				for _, oo := range ooGrid {
+					for _, ao := range aoGrid {
+						knobs = append(knobs, schedule.Knobs{
+							Layers: layers, Ckpt: ck, WO: wo, GO: gov, OO: oo, AO: ao,
+						})
+					}
+				}
+			}
+		}
+	}
+	ks := evalcache.NewKnobSet(knobs)
+	if t.knobSets == nil {
+		t.knobSets = map[int]*evalcache.KnobSet{}
+	}
+	t.knobSets[layers] = ks
+	return ks
+}
+
+// bound returns the current incumbent objective: the best complete
+// solution known so far (+Inf before any), the pruning threshold for
+// pruneByBound and pairBound.
+func (t *Tuner) bound() float64 {
+	return math.Float64frombits(t.incumbent.Load())
+}
+
+// offerIncumbent lowers the incumbent bound to obj if it improves on the
+// current one (CAS-min over the float bits; positive finite floats order
+// the same as their bit patterns, but comparing as floats keeps this
+// obviously correct).
+func (t *Tuner) offerIncumbent(obj float64) {
+	if !(obj > 0) || math.IsInf(obj, 1) {
+		return
+	}
+	for {
+		cur := t.incumbent.Load()
+		if math.Float64frombits(cur) <= obj {
+			return
+		}
+		if t.incumbent.CompareAndSwap(cur, math.Float64bits(obj)) {
+			return
+		}
+	}
 }
 
 // ctxErr reports the running search's context error (nil outside a
@@ -109,17 +225,21 @@ type Result struct {
 	// Evaluation-cache traffic during this search: hits are candidate
 	// pricings answered from the memo store, misses went to the symbolic
 	// analyzer. On an error-free search with the cache enabled,
-	// Hits + Misses == Candidates; (S, G) pairs aborted by an evaluator
-	// error drop their partial counts from Candidates but not from the
-	// cache counters, so the stats can exceed Candidates slightly there.
+	// Hits + Misses == Candidates exactly: every attempt lands in
+	// Candidates and every successful pricing in exactly one counter.
+	// Evaluator errors leave the failed attempt in Candidates but in
+	// neither cache counter, so Candidates >= Hits + Misses always.
 	EvalCacheHits   uint64
 	EvalCacheMisses uint64
 
-	// Warm-start telemetry (all zero on cold searches): whether a seed
-	// plan survived validation and pricing, its objective (the incumbent
+	// Incumbent-pruning telemetry: whether a seed plan survived
+	// validation and pricing, its objective (the initial incumbent
 	// bound), how many priced candidates the bound pruned before
 	// inter-stage selection, and how many (S, G) pairs were abandoned
 	// mid-sweep — the latter is where analyzer evaluations are saved.
+	// The incumbent is also fed by every completed pair, so the pruning
+	// counters can be nonzero on cold searches; their exact values are
+	// scheduling-dependent (the chosen plan never is).
 	WarmStarted       bool
 	WarmSeedObjective float64
 	WarmPruned        int
@@ -135,10 +255,13 @@ func (r *Result) CacheHitRate() float64 {
 	return 0
 }
 
-// New builds a tuner with a freshly calibrated analyzer for the cluster
-// (operator database from the GPU model; interference factors fitted to
-// the platform's contention simulator with a fixed seed).
-func New(w plan.Workload, cl *hardware.Cluster, space Space) (*Tuner, error) {
+// CalibratedAnalyzer builds the analyzer New would use: operator
+// database from the GPU model, interference factors fitted to the
+// platform's contention simulator with a fixed seed, Serialize matching
+// the space. Factored out so the serving layer can calibrate once per
+// workload fingerprint and share the analyzer (and its evaluation
+// cache) across requests via NewShared.
+func CalibratedAnalyzer(w plan.Workload, cl *hardware.Cluster, space Space) (*schedule.Analyzer, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,7 +275,46 @@ func New(w plan.Workload, cl *hardware.Cluster, space Space) (*Tuner, error) {
 	intf := interference.Fit(fluid, 12, rand.New(rand.NewSource(42)))
 	an := schedule.NewAnalyzer(w.Model, w.Seq, w.Flash, cl, opdb.New(cl.GPU), intf)
 	an.Serialize = !space.OverlapAware
+	return an, nil
+}
+
+// New builds a tuner with a freshly calibrated analyzer for the cluster
+// (operator database from the GPU model; interference factors fitted to
+// the platform's contention simulator with a fixed seed).
+func New(w plan.Workload, cl *hardware.Cluster, space Space) (*Tuner, error) {
+	an, err := CalibratedAnalyzer(w, cl, space)
+	if err != nil {
+		return nil, err
+	}
 	return &Tuner{W: w, Cluster: cl, An: an, Space: space, cache: evalcache.New(an)}, nil
+}
+
+// NewShared builds a tuner over a shared calibrated analyzer and a
+// shared, process-lifetime evaluation cache (both typically owned by the
+// serving layer's per-fingerprint registry, so one request's pricings
+// answer the next request's search). Unlike NewWithAnalyzer it never
+// mutates the analyzer — it may be serving concurrent searches — and
+// instead rejects a Serialize flag that contradicts the space, and it
+// rejects a cache built over a different evaluator (its memoized results
+// would be answers to different questions). A nil cache gets a fresh
+// private one.
+func NewShared(w plan.Workload, cl *hardware.Cluster, an *schedule.Analyzer, space Space, cache *evalcache.Cache) (*Tuner, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if an.Serialize != !space.OverlapAware {
+		return nil, fmt.Errorf("core: shared analyzer Serialize=%v contradicts space %q (overlap-aware=%v)",
+			an.Serialize, space.Name, space.OverlapAware)
+	}
+	if cache == nil {
+		cache = evalcache.New(an)
+	} else if cache.Backend() != evalcache.Evaluator(an) {
+		return nil, fmt.Errorf("core: shared eval cache was built over a different analyzer")
+	}
+	return &Tuner{W: w, Cluster: cl, An: an, Space: space, cache: cache}, nil
 }
 
 // NewWithAnalyzer builds a tuner reusing an existing analyzer (the
@@ -190,19 +352,20 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 	// Warm-start setup (see warm.go): price the seed, arm the incumbent
 	// bound, reset telemetry. All writes happen before workers spawn.
 	t.tuneCtx = ctx
-	t.warmSeed, t.warmBound = nil, 0
+	t.warmSeed = nil
+	t.incumbent.Store(math.Float64bits(math.Inf(1)))
 	t.warmPruned.Store(0)
 	t.warmAborted.Store(0)
 	_, wsp := trace.StartSpan(ctx, "warm-adapt")
-	seed := t.prepareWarm()
+	seed, nWarm := t.prepareWarm()
 	wsp.Annotate("warmStarted", seed != nil)
 	wsp.End()
+	res.Candidates += nWarm // seed pricing is real evaluator traffic
 	if seed != nil {
 		t.warmSeed = seed
-		t.warmBound = seed.objective
+		t.offerIncumbent(seed.objective)
 		res.WarmStarted = true
 		res.WarmSeedObjective = seed.objective
-		res.Candidates += len(seed.stages) // seed pricing is real evaluator traffic
 	}
 
 	type sg struct{ s, g, devPer int }
@@ -211,6 +374,18 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 		devPer := t.Cluster.TotalGPUs() / s
 		for _, g := range t.gradAccums() {
 			pairs = append(pairs, sg{s: s, g: g, devPer: devPer})
+		}
+	}
+	// Best-first dispatch: the seed's own pair goes first so the solver
+	// can tighten the incumbent past U immediately (on cold searches the
+	// existing shallow-pipelines-first order already lands a cheap
+	// incumbent early).
+	if seed != nil {
+		for i, p := range pairs {
+			if p.s == len(seed.stages) && p.g == seed.g {
+				pairs[0], pairs[i] = pairs[i], pairs[0]
+				break
+			}
 		}
 	}
 	res.SGPairs = len(pairs)
@@ -252,6 +427,11 @@ func (t *Tuner) TuneContext(ctx context.Context) (*Result, error) {
 				if err != nil {
 					sol = nil // infeasible (S, G): OOM or no factorization
 					psp.Annotate("infeasible", true)
+				}
+				if sol != nil && !t.disableIncumbent {
+					// Publish the pair's optimum immediately so pairs still
+					// in flight prune against the best solution so far.
+					t.offerIncumbent(sol.Objective)
 				}
 				psp.Annotate("evals", nEval)
 				psp.End()
@@ -338,6 +518,8 @@ func (t *Tuner) tuneSG(ctx context.Context, s, g, devPer int) (*interSolution, i
 	}
 	evaluated := 0
 	cands := make([][]candidate, s)
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
 	_, isp := trace.StartSpan(ctx, "intra-sweep")
 	err := func() error {
 		var pb pairBound
@@ -347,19 +529,19 @@ func (t *Tuner) tuneSG(ctx context.Context, s, g, devPer int) (*interSolution, i
 			}
 			var stageC []candidate
 			for _, l := range t.layerRange(s, i) {
-				cs, n, err := t.intraStage(s, g, i, devPer, l)
+				cs, n, err := t.intraStage(s, g, i, devPer, l, sc)
 				evaluated += n
 				if err != nil {
 					return err
 				}
-				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+				stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples(), sc)...)
 			}
 			stageC = t.injectSeed(stageC, s, g, i)
 			if len(stageC) == 0 {
 				return fmt.Errorf("core: stage %d infeasible for S=%d G=%d", i, s, g)
 			}
 			stageC = t.pruneByBound(stageC, g)
-			if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+			if len(stageC) == 0 || pb.add(stageC, g, t.bound()) {
 				// Every surviving combination of this pair is provably no
 				// better than the warm seed: stop before pricing the
 				// remaining stages.
@@ -400,6 +582,8 @@ func (t *Tuner) tuneSGHetero(ctx context.Context, s, g int) (*interSolution, int
 	evaluated := 0
 	devOpts := t.deviceOptions(s)
 	cands := make([][]candidate, s)
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
 	_, isp := trace.StartSpan(ctx, "intra-sweep")
 	err := func() error {
 		var pb pairBound
@@ -412,12 +596,12 @@ func (t *Tuner) tuneSGHetero(ctx context.Context, s, g int) (*interSolution, int
 				// Group the Pareto sampling per (device count, layer count)
 				// so the solver keeps trade-off points for every partition.
 				for _, l := range t.layerRange(s, i) {
-					cs, n, err := t.intraStage(s, g, i, dev, l)
+					cs, n, err := t.intraStage(s, g, i, dev, l, sc)
 					evaluated += n
 					if err != nil {
 						return err
 					}
-					stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples())...)
+					stageC = append(stageC, paretoSample(cs, g, t.Space.paretoSamples(), sc)...)
 				}
 			}
 			stageC = t.injectSeed(stageC, s, g, i)
@@ -425,7 +609,7 @@ func (t *Tuner) tuneSGHetero(ctx context.Context, s, g int) (*interSolution, int
 				return fmt.Errorf("core: stage %d infeasible for S=%d G=%d (hetero)", i, s, g)
 			}
 			stageC = t.pruneByBound(stageC, g)
-			if len(stageC) == 0 || pb.add(stageC, g, t.warmBound) {
+			if len(stageC) == 0 || pb.add(stageC, g, t.bound()) {
 				t.warmAborted.Add(1)
 				return &warmPrunedError{s: s, g: g}
 			}
@@ -469,8 +653,12 @@ func (t *Tuner) tuneUniform(s, g, devPer int) (*interSolution, int, error) {
 	evaluated := 0
 	var best *interSolution
 	// Enumerate shared configurations via stage 0's candidate list, then
-	// replicate the knobs (and parallelism) across stages.
-	cands0, n, err := t.intraStage(s, g, 0, devPer, l)
+	// replicate the knobs (and parallelism) across stages. The scratch
+	// stays checked out until the loop is done with cands0 (the arena
+	// backs it).
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
+	cands0, n, err := t.intraStage(s, g, 0, devPer, l, sc)
 	evaluated += n
 	if err != nil {
 		return nil, evaluated, err
@@ -488,11 +676,11 @@ func (t *Tuner) tuneUniform(s, g, devPer int) (*interSolution, int, error) {
 			shape.HasPost = i == s-1
 			shape.StageIdx = i
 			r, err := t.evaluator().Evaluate(shape, c0.Knobs)
+			evaluated++ // the attempt was made whether or not it priced
 			if err != nil {
 				feasible = false
 				break
 			}
-			evaluated++
 			if !r.Fits(budget) {
 				feasible = false
 				break

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/hardware"
 	"repro/internal/model"
 	"repro/internal/plan"
+	"repro/internal/schedule"
 	"repro/internal/trainsim"
 )
 
@@ -197,7 +199,7 @@ func TestParetoFrontier(t *testing.T) {
 	cands := []candidate{
 		{T: 1, D: 5}, {T: 2, D: 2}, {T: 3, D: 1}, {T: 2.5, D: 3}, {T: 4, D: 4},
 	}
-	front := paretoFrontier(cands)
+	front := paretoFrontier(cands, &sweepScratch{})
 	if len(front) != 3 {
 		t.Fatalf("frontier size %d, want 3 (got %+v)", len(front), front)
 	}
@@ -213,7 +215,7 @@ func TestParetoSampleEndpoints(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		cands = append(cands, candidate{T: float64(i), D: float64(20 - i)})
 	}
-	out := paretoSample(cands, 4, 3)
+	out := paretoSample(cands, 4, 3, &sweepScratch{})
 	if len(out) == 0 || len(out) > 3 {
 		t.Fatalf("sample size %d", len(out))
 	}
@@ -229,6 +231,129 @@ func TestParetoSampleEndpoints(t *testing.T) {
 	}
 	if !hasMinT || !hasMinD {
 		t.Errorf("α sweep should include both frontier endpoints: %+v", out)
+	}
+}
+
+// K == 1 historically divided by k-1, producing NaN scores; the sweep
+// now pins α = 1 explicitly, so the single sample is the throughput
+// endpoint (min stable time on the frontier).
+func TestParetoSampleSingle(t *testing.T) {
+	cands := []candidate{
+		{T: 1, D: 5}, {T: 2, D: 2}, {T: 3, D: 1}, {T: 2.5, D: 3}, {T: 4, D: 4},
+	}
+	out := paretoSample(cands, 4, 1, &sweepScratch{})
+	if len(out) != 1 {
+		t.Fatalf("k=1 sampled %d candidates", len(out))
+	}
+	if out[0].T != 1 {
+		t.Errorf("k=1 picked T=%v, want the min-T frontier point (T=1)", out[0].T)
+	}
+}
+
+// K at or beyond the frontier size returns the whole frontier, no
+// sweep needed.
+func TestParetoSampleKExceedsFrontier(t *testing.T) {
+	cands := []candidate{
+		{T: 1, D: 5}, {T: 2, D: 2}, {T: 3, D: 1}, {T: 2.5, D: 3}, {T: 4, D: 4},
+	}
+	for _, k := range []int{3, 10} {
+		out := paretoSample(cands, 4, k, &sweepScratch{})
+		if len(out) != 3 {
+			t.Errorf("k=%d sampled %d candidates, want the full 3-point frontier", k, len(out))
+		}
+	}
+	if out := paretoSample(nil, 4, 1, &sweepScratch{}); out != nil {
+		t.Errorf("empty candidate set sampled %+v", out)
+	}
+}
+
+// flakyEvaluator delegates to the real analyzer but fails configurable
+// subsets of the traffic, counting exactly the pricings that succeeded —
+// the reference value for the tuner's `evaluated` accounting.
+type flakyEvaluator struct {
+	an           *schedule.Analyzer
+	failBatchTP  int          // EvaluateBatch errors for shapes with this TP (0: never)
+	failEvaluate bool         // every single-point Evaluate errors
+	points       atomic.Int64 // successful batch pricings, in points
+	attempts     atomic.Int64 // single-point Evaluate attempts
+}
+
+func (f *flakyEvaluator) Evaluate(s schedule.StageShape, k schedule.Knobs) (schedule.Result, error) {
+	f.attempts.Add(1)
+	if f.failEvaluate {
+		return schedule.Result{}, errors.New("flaky: evaluate failed")
+	}
+	return f.an.Evaluate(s, k)
+}
+
+func (f *flakyEvaluator) EvaluateBatch(s schedule.StageShape, ks []schedule.Knobs) ([]schedule.Result, error) {
+	if f.failBatchTP != 0 && s.TP == f.failBatchTP {
+		return nil, errors.New("flaky: batch failed")
+	}
+	rs, err := f.an.EvaluateBatch(s, ks)
+	if err == nil {
+		f.points.Add(int64(len(ks)))
+	}
+	return rs, err
+}
+
+// TestIntraStageExactCountOnError pins the accounting fix: when one
+// shape's batch fails, intraStage still reports every pricing that other
+// (possibly later-scheduled) shapes completed — not zero, not a partial
+// early-return tally.
+func TestIntraStageExactCountOnError(t *testing.T) {
+	w := testWorkload("gpt3-1.3b", 8)
+	nodes, perNode, err := hardware.MeshForGPUs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := New(w, hardware.L4Cluster(nodes, perNode), DeepSpeedSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyEvaluator{an: tn.An, failBatchTP: 2}
+	tn.evOverride = fl
+
+	sc := &sweepScratch{}
+	_, evaluated, err := tn.intraStage(1, 1, 0, 2, w.Model.Layers, sc)
+	if err == nil {
+		t.Fatal("TP=2 batches were supposed to fail")
+	}
+	if got, want := int64(evaluated), fl.points.Load(); got != want {
+		t.Errorf("intraStage reported %d evaluations, backend completed %d", got, want)
+	}
+	if fl.points.Load() == 0 {
+		t.Fatal("no TP=1 shape priced; the test exercised nothing")
+	}
+}
+
+// TestTuneUniformCountsFailedEvaluations pins the companion fix in the
+// uniform-heuristic baseline: a single-point Evaluate that errors is
+// still an attempt the evaluator made, so it must be counted.
+func TestTuneUniformCountsFailedEvaluations(t *testing.T) {
+	w := testWorkload("gpt3-1.3b", 8)
+	nodes, perNode, err := hardware.MeshForGPUs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := New(w, hardware.L4Cluster(nodes, perNode), UniformHeuristicSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyEvaluator{an: tn.An, failEvaluate: true}
+	tn.evOverride = fl
+
+	_, evaluated, err := tn.tuneUniform(2, 1, 1)
+	if err == nil {
+		t.Fatal("all-failing Evaluate was supposed to leave the heuristic infeasible")
+	}
+	if fl.attempts.Load() == 0 {
+		t.Fatal("no single-point evaluations attempted; the test exercised nothing")
+	}
+	want := fl.points.Load() + fl.attempts.Load()
+	if int64(evaluated) != want {
+		t.Errorf("tuneUniform reported %d evaluations, want %d (%d batch points + %d failed attempts)",
+			evaluated, want, fl.points.Load(), fl.attempts.Load())
 	}
 }
 
@@ -298,9 +423,9 @@ func TestCacheOnOffIdenticalPlans(t *testing.T) {
 	if rc.Predicted != ru.Predicted {
 		t.Errorf("cached objective %v != uncached %v", rc.Predicted, ru.Predicted)
 	}
-	if rc.Candidates != ru.Candidates {
-		t.Errorf("candidate count %d != uncached %d", rc.Candidates, ru.Candidates)
-	}
+	// Candidate counts are not compared: the global incumbent bound
+	// prunes a scheduling-dependent amount of work per run. The plan and
+	// objective above are the determinism contract.
 
 	if rc.EvalCacheHits == 0 {
 		t.Error("cache recorded no hits over a full Mist-space search")
@@ -321,7 +446,9 @@ func TestCacheOnOffIdenticalPlans(t *testing.T) {
 }
 
 // Repeating a search on the same tuner answers (almost) everything from
-// the memo store: the second run's misses drop to zero.
+// the memo store: the second run's hit rate approaches one. (Exact zero
+// misses is not guaranteed: incumbent pruning is scheduling-dependent,
+// so the second run can price a point the first run pruned away.)
 func TestCacheWarmSecondSearch(t *testing.T) {
 	w := testWorkload("gpt3-1.3b", 8)
 	nodes, perNode, _ := hardware.MeshForGPUs(2)
@@ -341,10 +468,10 @@ func TestCacheWarmSecondSearch(t *testing.T) {
 	if !reflect.DeepEqual(r1.Plan, r2.Plan) {
 		t.Error("warm search picked a different plan")
 	}
-	if r2.EvalCacheMisses != 0 {
-		t.Errorf("warm search still missed %d times", r2.EvalCacheMisses)
+	if hr := r2.CacheHitRate(); hr < 0.95 {
+		t.Errorf("second search hit rate %.3f, want ~1 (misses %d)", hr, r2.EvalCacheMisses)
 	}
-	if r2.EvalCacheHits != uint64(r2.Candidates) {
-		t.Errorf("warm search hits %d != candidates %d", r2.EvalCacheHits, r2.Candidates)
+	if got := r2.EvalCacheHits + r2.EvalCacheMisses; got != uint64(r2.Candidates) {
+		t.Errorf("second search hits+misses %d != candidates %d", got, r2.Candidates)
 	}
 }

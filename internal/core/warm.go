@@ -13,20 +13,21 @@ import (
 // the plan store) seeds the search three ways, each provably unable to
 // make the result worse than a cold search of the same space:
 //
-//  1. The seed is priced up front; its objective U becomes an incumbent
-//     bound. Any candidate c with G·(t_c + min(0, d_c)/G) >= U cannot
-//     appear in a solution better than U — the objective is at least
+//  1. The seed is priced up front; its objective U seeds the incumbent
+//     bound (which every completed (S, G) pair then tightens — cold
+//     searches prune the same way once their first pair lands). Any
+//     candidate c with G·(t_c + min(0, d_c)/G) > U cannot appear in a
+//     solution matching U — the objective is at least
 //     (G-1)·maxT + ΣT >= G·t_c (imbalance-aware; the averaged objective
 //     substitutes τ = t + d/G) — so it is pruned before inter-stage
-//     selection. Removing such a point never hides a better-than-U
-//     solution, and every candidate of the cold optimum survives
-//     whenever the cold optimum beats U (each of its candidates then
-//     satisfies G·t < U; Pareto sampling keeps an argmin point of its α
-//     regardless of which dominated points were dropped around it).
+//     selection. The comparison is strict, so every candidate of every
+//     solution tying the final optimum survives: removing a point never
+//     hides a solution as good as U, and the (objective, S, G)
+//     tie-break sees exactly the tie set an unpruned search would.
 //  2. During a pair's stage-by-stage sweep, the per-stage candidate
 //     minima accumulate into the same lower bound; once
-//     (G-1)·max_j m_j + Σ_j m_j >= U the pair is abandoned before its
-//     remaining stages are priced — that is where warm starts save
+//     (G-1)·max_j m_j + Σ_j m_j > U the pair is abandoned before its
+//     remaining stages are priced — that is where pruned searches save
 //     analyzer evaluations outright.
 //  3. The seed's own per-stage candidates are injected into the
 //     matching (S, G) pair so the inter-stage solver can recombine
@@ -46,25 +47,31 @@ type warmSeed struct {
 }
 
 // prepareWarm validates, adapts and prices t.Warm under the current
-// analyzer. It returns nil (cold search) when the seed cannot be made
-// feasible for this workload/cluster: warm starting is best-effort.
-func (t *Tuner) prepareWarm() *warmSeed {
+// analyzer, also reporting how many evaluator calls it made — the
+// caller folds them into Result.Candidates even when the seed is
+// rejected partway, so the candidate count reconciles with the eval
+// cache's hit/miss counters. It returns a nil seed (cold search) when
+// the plan cannot be made feasible for this workload/cluster: warm
+// starting is best-effort.
+func (t *Tuner) prepareWarm() (*warmSeed, int) {
 	if t.Warm == nil {
-		return nil
+		return nil, 0
 	}
 	p := t.Warm
 	if p.Validate(t.W) != nil {
 		p = AdaptPlan(p, t.W, t.Cluster)
 		if p == nil {
-			return nil
+			return nil, 0
 		}
 	}
 	budget := t.Cluster.MemoryBudget() * planSafetyFraction
 	stages := make([]candidate, len(p.Stages))
+	evaluated := 0
 	for i, st := range p.Stages {
 		r, err := t.evaluator().Evaluate(st.Shape, st.Knobs)
+		evaluated++
 		if err != nil || !r.Fits(budget) {
-			return nil
+			return nil, evaluated
 		}
 		stages[i] = candidate{Shape: st.Shape, Knobs: st.Knobs, T: r.Stable, D: r.Delta, Mem: r.PeakMem}
 	}
@@ -73,7 +80,7 @@ func (t *Tuner) prepareWarm() *warmSeed {
 		stages:    stages,
 		g:         p.GradAccum,
 		objective: t.objective(stages, p.GradAccum),
-	}
+	}, evaluated
 }
 
 // boundValue is the per-candidate quantity whose G-fold multiple lower
@@ -89,14 +96,19 @@ func boundValue(c candidate, g int) float64 {
 }
 
 // pruneByBound drops candidates that provably cannot beat the incumbent
-// objective, counting them into the warm-start telemetry.
+// objective, counting them into the pruning telemetry. The comparison is
+// strict: a candidate whose lower bound exactly equals the incumbent is
+// kept, so every candidate of any solution tying the final optimum
+// survives and the tuner's (objective, S, G) tie-breaking sees the same
+// tie set as an unpruned search — the chosen plan is bit-identical.
 func (t *Tuner) pruneByBound(cands []candidate, g int) []candidate {
-	if t.warmBound <= 0 {
+	bound := t.bound()
+	if math.IsInf(bound, 1) {
 		return cands
 	}
 	kept := cands[:0]
 	for _, c := range cands {
-		if float64(g)*boundValue(c, g) >= t.warmBound {
+		if float64(g)*boundValue(c, g) > bound {
 			t.warmPruned.Add(1)
 			continue
 		}
@@ -112,9 +124,12 @@ type pairBound struct {
 }
 
 // add folds one stage's candidate list into the bound and reports
-// whether the pair is now provably no better than the incumbent.
+// whether the pair is now provably worse than the incumbent. Strict
+// comparison again: a pair whose lower bound ties the incumbent may
+// still realize exactly that objective, and abandoning it would change
+// which pairs participate in the final (objective, S, G) tie-break.
 func (pb *pairBound) add(cands []candidate, g int, incumbent float64) (pruned bool) {
-	if incumbent <= 0 || len(cands) == 0 {
+	if math.IsInf(incumbent, 1) || len(cands) == 0 {
 		return false
 	}
 	m := math.Inf(1)
@@ -127,7 +142,7 @@ func (pb *pairBound) add(cands []candidate, g int, incumbent float64) (pruned bo
 	if m > pb.max {
 		pb.max = m
 	}
-	return float64(g-1)*pb.max+pb.sum >= incumbent
+	return float64(g-1)*pb.max+pb.sum > incumbent
 }
 
 // warmPrunedError marks an (S, G) pair abandoned because the incumbent

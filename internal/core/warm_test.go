@@ -84,7 +84,19 @@ func TestWarmStartNeverRegresses(t *testing.T) {
 func TestWarmStartSavesEvaluations(t *testing.T) {
 	space := DeepSpeedSpace()
 	w := testWorkload("gpt3-1.3b", 16)
-	cold := mustTune(t, w, 4, space)
+	// Reference search with cross-pair incumbent sharing off: its
+	// candidate count is run-to-run deterministic (the default cold
+	// search self-prunes by a scheduling-dependent amount, which would
+	// make the comparison below flaky).
+	coldTn, err := New(w, l4(t, 4), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTn.disableIncumbent = true
+	cold, err := coldTn.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	warm := tuneWarm(t, w, 4, space, cold.Plan)
 	if !warm.WarmStarted {

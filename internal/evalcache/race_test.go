@@ -148,3 +148,84 @@ func TestConcurrentMixedHitMissLoad(t *testing.T) {
 		t.Errorf("backend evaluated %d points, cache counted %d misses", ev.calls, st.Misses)
 	}
 }
+
+// TestConcurrentEvaluateSetNoTornReads drives the tuner's actual hot
+// path — EvaluateSet over shared interned KnobSets with pooled Scratch —
+// from many goroutines at once. Every Result's fields are derived from
+// its canonical key, so any torn read (a Result assembled from two
+// different stores, or a slice observed mid-resize) shows up as a field
+// mismatch. Run under `make race` this also exercises the COW shard
+// promotion and the per-cache KnobSet id memo concurrently.
+func TestConcurrentEvaluateSetNoTornReads(t *testing.T) {
+	ev := &syntheticEvaluator{}
+	c := New(ev)
+
+	// Two shared KnobSets with overlapping knob populations (including
+	// in-set duplicates, which EvaluateSet must dedup) and a handful of
+	// shapes, some canonically equivalent, keep every shard contended.
+	mk := func(n, stride int) *KnobSet {
+		ks := make([]schedule.Knobs, n)
+		for i := range ks {
+			j := (i * stride) % 5
+			ks[i] = schedule.Knobs{Layers: 6 + j, Ckpt: j % 3, WO: float64(j%2) / 2}
+		}
+		return NewKnobSet(ks)
+	}
+	sets := []*KnobSet{mk(12, 1), mk(9, 2)}
+	shapes := []schedule.StageShape{
+		{B: 1, DP: 2, TP: 1, NumStages: 2, StageIdx: 0, GradAccum: 4, HasPre: true},
+		{B: 1, DP: 2, TP: 1, NumStages: 2, StageIdx: 1, GradAccum: 4, HasPost: true},
+		{B: 2, DP: 1, TP: 2, ZeRO: 3, NumStages: 1, StageIdx: 0, GradAccum: 1, HasPre: true, HasPost: true},
+	}
+
+	const goroutines = 16
+	const rounds = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sc Scratch // per-goroutine, like the tuner's pooled scratch
+			var dst []schedule.Result
+			for r := 0; r < rounds; r++ {
+				sh := shapes[(g+r)%len(shapes)]
+				set := sets[(g+r)%len(sets)]
+				out, err := c.EvaluateSet(sh, set, dst[:0], &sc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				dst = out
+				if len(out) != set.Len() {
+					errs <- fmt.Errorf("got %d results for a %d-knob set", len(out), set.Len())
+					return
+				}
+				for i, res := range out {
+					if want := syntheticResult(sh, set.Knobs()[i]); res != want {
+						errs <- fmt.Errorf("torn or wrong result at %d: got %+v want %+v", i, res, want)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("degenerate traffic: %+v", st)
+	}
+	// The backend priced only misses; hits and in-set duplicates came
+	// from the cache.
+	if uint64(ev.calls) != st.Misses {
+		t.Errorf("backend evaluated %d points, cache counted %d misses", ev.calls, st.Misses)
+	}
+}

@@ -72,38 +72,62 @@ func MaskOf(chs ...Channel) Mask {
 	return m
 }
 
+// numMasks is the size of the dense mask-indexed tables.
+const numMasks = 1 << NumChannels
+
+// Precomputed combination tables: sweepMasks lists every mask with >= 2
+// participants in Algorithm 1's resolution order (largest first, then
+// ascending mask value), and maskChannels lists each mask's participants
+// in channel order. Predict is the analyzer's innermost hot loop — the
+// old per-call combinationsOfSize allocation was ~90% of a cold search's
+// allocated objects — so both tables are built once at package init.
+var (
+	sweepMasks   []Mask
+	maskChannels [numMasks][]Channel
+)
+
+func init() {
+	for n := int(NumChannels); n >= 2; n-- {
+		for m := Mask(1); m < numMasks; m++ {
+			if m.Count() == n {
+				sweepMasks = append(sweepMasks, m)
+			}
+		}
+	}
+	for m := Mask(1); m < numMasks; m++ {
+		for ch := Channel(0); ch < NumChannels; ch++ {
+			if m.Has(ch) {
+				maskChannels[m] = append(maskChannels[m], ch)
+			}
+		}
+	}
+}
+
 // Model holds the per-combination slowdown factors. factors[m][ch] is the
 // multiplicative slowdown applied to channel ch while exactly the channels
-// in m co-run; it is >= 1 and meaningful only when m.Has(ch).
+// in m co-run; it is >= 1 and meaningful only when m.Has(ch). The dense
+// mask-indexed array keeps Factor lookups branch-free on the Predict hot
+// path (the old map cost a hash per participant per combination).
 type Model struct {
-	factors map[Mask][NumChannels]float64
+	factors [numMasks][NumChannels]float64
 }
 
 // NewModel returns a model with all factors 1 (no interference).
 func NewModel() *Model {
-	m := &Model{factors: make(map[Mask][NumChannels]float64)}
-	for _, mask := range AllCombinations() {
-		var f [NumChannels]float64
+	m := &Model{}
+	for mask := range m.factors {
 		for ch := Channel(0); ch < NumChannels; ch++ {
-			f[ch] = 1
+			m.factors[mask][ch] = 1
 		}
-		m.factors[mask] = f
 	}
 	return m
 }
 
 // AllCombinations enumerates every mask with >= 2 participants, largest
-// combinations first (Algorithm 1 resolves n=4 down to n=2).
+// combinations first (Algorithm 1 resolves n=4 down to n=2). The returned
+// slice is the caller's to mutate.
 func AllCombinations() []Mask {
-	var out []Mask
-	for n := int(NumChannels); n >= 2; n-- {
-		for m := Mask(1); m < 1<<NumChannels; m++ {
-			if m.Count() == n {
-				out = append(out, m)
-			}
-		}
-	}
-	return out
+	return append([]Mask(nil), sweepMasks...)
 }
 
 // SetFactor sets the slowdown of ch under combination m.
@@ -114,9 +138,7 @@ func (md *Model) SetFactor(m Mask, ch Channel, f float64) {
 	if f < 1 {
 		f = 1
 	}
-	fs := md.factors[m]
-	fs[ch] = f
-	md.factors[m] = fs
+	md.factors[m][ch] = f
 }
 
 // Factor returns the slowdown of ch under combination m.
@@ -134,42 +156,37 @@ type Times [NumChannels]float64
 // finishes), and converts the advance back into retired isolated work.
 func (md *Model) Predict(x Times) float64 {
 	total := 0.0
-	for n := int(NumChannels); n >= 2; n-- {
-		for _, mask := range combinationsOfSize(n) {
-			// ids check: all channels of mask must still have work.
-			active := true
-			for ch := Channel(0); ch < NumChannels; ch++ {
-				if mask.Has(ch) && x[ch] <= 0 {
-					active = false
-					break
-				}
+	for _, mask := range sweepMasks {
+		chans := maskChannels[mask]
+		// Active check: all channels of mask must still have work.
+		active := true
+		for _, ch := range chans {
+			if x[ch] <= 0 {
+				active = false
+				break
 			}
-			if !active {
-				continue
-			}
-			// scaled = x * factors (participants only).
-			overlap := math.Inf(1)
-			var scaled Times
-			for ch := Channel(0); ch < NumChannels; ch++ {
-				if mask.Has(ch) {
-					scaled[ch] = x[ch] * md.factors[mask][ch]
-					if scaled[ch] < overlap {
-						overlap = scaled[ch]
-					}
-				}
-			}
-			// Advance by the smallest scaled time; convert the consumed
-			// wall-clock back to isolated work per participant.
-			for ch := Channel(0); ch < NumChannels; ch++ {
-				if mask.Has(ch) {
-					x[ch] = (scaled[ch] - overlap) / md.factors[mask][ch]
-					if x[ch] < 1e-15 {
-						x[ch] = 0
-					}
-				}
-			}
-			total += overlap
 		}
+		if !active {
+			continue
+		}
+		// scaled = x * factors (participants only).
+		overlap := math.Inf(1)
+		var scaled Times
+		for _, ch := range chans {
+			scaled[ch] = x[ch] * md.factors[mask][ch]
+			if scaled[ch] < overlap {
+				overlap = scaled[ch]
+			}
+		}
+		// Advance by the smallest scaled time; convert the consumed
+		// wall-clock back to isolated work per participant.
+		for _, ch := range chans {
+			x[ch] = (scaled[ch] - overlap) / md.factors[mask][ch]
+			if x[ch] < 1e-15 {
+				x[ch] = 0
+			}
+		}
+		total += overlap
 	}
 	// Whatever is left runs alone.
 	for ch := Channel(0); ch < NumChannels; ch++ {
@@ -184,16 +201,6 @@ func (md *Model) PredictBatch(xs []Times) []float64 {
 	out := make([]float64, len(xs))
 	for i, x := range xs {
 		out[i] = md.Predict(x)
-	}
-	return out
-}
-
-func combinationsOfSize(n int) []Mask {
-	var out []Mask
-	for m := Mask(1); m < 1<<NumChannels; m++ {
-		if m.Count() == n {
-			out = append(out, m)
-		}
 	}
 	return out
 }

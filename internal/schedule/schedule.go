@@ -66,6 +66,46 @@ type StageShape struct {
 // Devices returns the number of GPUs the stage occupies.
 func (s StageShape) Devices() int { return s.DP * s.TP }
 
+// inFlight is the 1F1B in-flight microbatch count min(G, S-idx), clamped
+// to >= 1 — the only way NumStages, StageIdx and GradAccum enter the
+// stage model.
+func (s StageShape) inFlight() int {
+	n := s.NumStages - s.StageIdx
+	if n > s.GradAccum {
+		n = s.GradAccum
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Canonical maps the shape onto its evaluation-equivalence class
+// representative: two shapes with the same Canonical() produce identical
+// analyzer results. The analyzer depends on the raw shape only through
+// (B, DP, TP), the ZeRO level normalized to 0 when DP == 1 (sharding a
+// group of one is a no-op and every collective over it costs 0), the
+// pre/post flags, whether the pipeline is deeper than one stage
+// (boundary p2p), and the in-flight microbatch count. The representative
+// re-encodes (pipelined, inFlight) as NumStages = inFlight+1, StageIdx =
+// 0, GradAccum = inFlight so it round-trips through the same model code.
+func (s StageShape) Canonical() StageShape {
+	zero := s.ZeRO
+	if s.DP == 1 && zero >= 0 && zero <= 3 {
+		zero = 0 // out-of-range levels pass through so validation still rejects them
+	}
+	stages, accum := 1, 1
+	if s.NumStages > 1 {
+		n := s.inFlight()
+		stages, accum = n+1, n
+	}
+	return StageShape{
+		B: s.B, DP: s.DP, TP: s.TP, ZeRO: zero,
+		HasPre: s.HasPre, HasPost: s.HasPost,
+		NumStages: stages, StageIdx: 0, GradAccum: accum,
+	}
+}
+
 // Knobs are the continuous/integer per-stage optimization variables of
 // Table 2 that do not require re-tracing.
 type Knobs struct {
@@ -182,8 +222,12 @@ const (
 	numOutputs
 )
 
-// program returns (building if needed) the compiled stage program.
+// program returns (building if needed) the compiled stage program. The
+// cache is keyed by the shape's canonical representative, so the many
+// raw shapes of one equivalence class (middle pipeline stages with equal
+// in-flight depth across (S, G) pairs) trace and compile exactly once.
 func (a *Analyzer) program(shape StageShape) *stageProgram {
+	shape = shape.Canonical()
 	a.mu.Lock()
 	sp, ok := a.cache[shape]
 	a.mu.Unlock()
@@ -408,13 +452,7 @@ func (a *Analyzer) build(shape StageShape) *stageProgram {
 	}
 
 	// Activation stash per in-flight microbatch.
-	inFlight := shape.NumStages - shape.StageIdx
-	if inFlight > shape.GradAccum {
-		inFlight = shape.GradAccum
-	}
-	if inFlight < 1 {
-		inFlight = 1
-	}
+	inFlight := shape.inFlight()
 	sp.inFlight = inFlight
 	resident := symbolic.Sub(one, ao)
 	actPerMB := symbolic.Mul(
@@ -498,17 +536,47 @@ func (a *Analyzer) Evaluate(shape StageShape, k Knobs) (Result, error) {
 	return rs[0], nil
 }
 
+// EvalScratch holds the reusable buffers of one evaluation stream. One
+// scratch belongs to one goroutine at a time (callers in worker pools own
+// one per worker); the zero value is ready to use and the buffers grow to
+// the largest program seen.
+type EvalScratch struct {
+	regs  []float64
+	out   []float64
+	frame []float64
+}
+
 // EvaluateBatch prices many knob candidates under one shape with a single
 // compiled-program sweep (the batched value substitution of §5.2).
 func (a *Analyzer) EvaluateBatch(shape StageShape, ks []Knobs) ([]Result, error) {
+	var sc EvalScratch
+	return a.EvaluateBatchInto(nil, shape, ks, &sc)
+}
+
+// EvaluateBatchInto is EvaluateBatch with caller-owned result and scratch
+// buffers: dst is reused when its capacity suffices (the returned slice
+// aliases it), and sc's internal buffers persist across calls. The hot
+// tuning path calls this once per (shape, layer count) with per-worker
+// scratch, eliminating the four per-call allocations of the naive form.
+func (a *Analyzer) EvaluateBatchInto(dst []Result, shape StageShape, ks []Knobs, sc *EvalScratch) ([]Result, error) {
 	sp := a.program(shape)
 	if sp.err != nil {
 		return nil, sp.err
 	}
-	results := make([]Result, len(ks))
-	regs := sp.prog.Scratch()
-	out := make([]float64, numOutputs)
-	frame := make([]float64, len(knobVars))
+	if cap(dst) < len(ks) {
+		dst = make([]Result, len(ks))
+	}
+	results := dst[:len(ks)]
+	if cap(sc.out) < numOutputs {
+		sc.out = make([]float64, numOutputs)
+	}
+	if cap(sc.frame) < len(knobVars) {
+		sc.frame = make([]float64, len(knobVars))
+	}
+	if n := sp.prog.NumRegs(); cap(sc.regs) < n {
+		sc.regs = make([]float64, n)
+	}
+	out, frame := sc.out[:numOutputs], sc.frame[:len(knobVars)]
 	for i, k := range ks {
 		if err := k.Validate(); err != nil {
 			return nil, err
@@ -519,7 +587,7 @@ func (a *Analyzer) EvaluateBatch(shape StageShape, ks []Knobs) ([]Result, error)
 		frame[3] = k.GO
 		frame[4] = k.OO
 		frame[5] = k.AO
-		out = sp.prog.EvalFrame(frame, regs, out)
+		out = sp.prog.EvalFrame(frame, sc.regs, out)
 		results[i] = a.compose(shape, k, sp, out)
 	}
 	return results, nil

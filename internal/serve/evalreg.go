@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/evalcache"
+	"repro/internal/hardware"
+	"repro/internal/plan"
+	"repro/internal/schedule"
+)
+
+// This file is the cross-request evaluation-cache registry. A single
+// tuner run prices hundreds of thousands of (stage shape, knobs) points;
+// those pricings depend only on the analyzer configuration, not on the
+// request, so a fresh cache per search throws the work away. The
+// registry keeps one calibrated analyzer plus one evalcache.Cache per
+// analyzer-config fingerprint for the life of the process: a re-search
+// of a known fingerprint (after plan-cache eviction, or for a different
+// global batch over the same model/platform) starts ~fully warm.
+//
+// The registry is bounded by total cached points, not entries: one
+// fingerprint's cache is a few hundred thousand points while another's
+// is a few thousand, so entry-count capacity would be meaningless. When
+// the total exceeds the cap, least-recently-used entries are dropped
+// whole (their analyzer too); a dropped fingerprint simply re-prices on
+// its next search, exactly like the first request of a process.
+
+// defaultEvalCachePoints bounds the registry's total memoized points
+// when the operator does not set one. A point is a packed uint64 key
+// plus a schedule.Result (~100 B with map overhead), so the default caps
+// the registry around 400 MB — roughly twenty fully-swept fingerprints.
+const defaultEvalCachePoints = 4 << 20
+
+// evalKey is the analyzer-config fingerprint: everything the analyzer's
+// answers depend on, and nothing more. The global batch is deliberately
+// absent — shapes carry their own microbatch size — so workloads that
+// differ only in batch share one cache. The search space collapses to
+// its Serialize flag for the same reason: spaces restrict which points
+// the tuner asks about, not what any point costs.
+func evalKey(ws WorkloadSpec, space core.Space) string {
+	return fmt.Sprintf("%s|%s|%d|%d|flash=%v|serialize=%v",
+		strings.ToLower(ws.Model), strings.ToLower(ws.Platform),
+		ws.GPUs, ws.Seq, !ws.NoFlash, !space.OverlapAware)
+}
+
+// evalEntry is one registry slot. ready closes when calibration
+// finishes, so concurrent first requests for a fingerprint build the
+// analyzer once and everyone else waits (calibration is milliseconds,
+// bounded by the interference fit).
+type evalEntry struct {
+	ready    chan struct{}
+	an       *schedule.Analyzer
+	cache    *evalcache.Cache
+	err      error
+	lastUsed atomic.Int64 // registry sequence number, not wall time
+}
+
+type evalRegistry struct {
+	capPoints int
+
+	mu      sync.Mutex
+	entries map[string]*evalEntry
+
+	seq       atomic.Int64
+	evictions atomic.Uint64 // whole caches dropped by the cap
+	retired   atomic.Uint64 // points those caches held when dropped
+}
+
+func newEvalRegistry(capPoints int) *evalRegistry {
+	if capPoints < 1 {
+		capPoints = defaultEvalCachePoints
+	}
+	return &evalRegistry{capPoints: capPoints, entries: map[string]*evalEntry{}}
+}
+
+// acquire returns the shared analyzer and cache for a normalized spec,
+// calibrating them on first use. reused reports whether the entry
+// predates this call (the search will start warm).
+func (r *evalRegistry) acquire(ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (an *schedule.Analyzer, cache *evalcache.Cache, reused bool, err error) {
+	key := evalKey(ws, space)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if !ok {
+		e = &evalEntry{ready: make(chan struct{})}
+		r.entries[key] = e
+		r.mu.Unlock()
+		an, err := core.CalibratedAnalyzer(w, cl, space)
+		if err != nil {
+			// Failed builds are not cached: drop the slot so a later
+			// (possibly corrected) request retries.
+			e.err = err
+			close(e.ready)
+			r.mu.Lock()
+			delete(r.entries, key)
+			r.mu.Unlock()
+			return nil, nil, false, err
+		}
+		e.an, e.cache = an, evalcache.New(an)
+		close(e.ready)
+		e.lastUsed.Store(r.seq.Add(1))
+		return e.an, e.cache, false, nil
+	}
+	r.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return nil, nil, false, e.err
+	}
+	e.lastUsed.Store(r.seq.Add(1))
+	return e.an, e.cache, true, nil
+}
+
+// analyzer returns the calibrated analyzer for a spec (shared with any
+// searches of the same fingerprint), for callers that only need pricing,
+// not a tuner — /simulate's measurement path.
+func (r *evalRegistry) analyzer(ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
+	an, _, _, err := r.acquire(ws, w, cl, space)
+	return an, err
+}
+
+// enforceCap drops least-recently-used entries until the total cached
+// points fit the cap. keep names the entry the caller just used; it is
+// never evicted, so a single over-budget fingerprint keeps its (still
+// useful) cache rather than thrashing on every request.
+func (r *evalRegistry) enforceCap(keep string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type sized struct {
+		key string
+		e   *evalEntry
+		n   int
+	}
+	total := 0
+	var all []sized
+	for k, e := range r.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still calibrating: empty, nothing to count
+		}
+		if e.err != nil {
+			continue
+		}
+		n := e.cache.Len()
+		total += n
+		all = append(all, sized{key: k, e: e, n: n})
+	}
+	for total > r.capPoints {
+		victim := -1
+		for i := range all {
+			if all[i].key == keep {
+				continue
+			}
+			if victim < 0 || all[i].e.lastUsed.Load() < all[victim].e.lastUsed.Load() {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return // only the protected entry remains
+		}
+		delete(r.entries, all[victim].key)
+		r.evictions.Add(1)
+		r.retired.Add(uint64(all[victim].n))
+		total -= all[victim].n
+		all[victim] = all[len(all)-1]
+		all = all[:len(all)-1]
+	}
+}
+
+// snapshot reports the registry gauges: live entries, total cached
+// points across them, and the cumulative eviction counters.
+func (r *evalRegistry) snapshot() (entries, points int, evictions, retired uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err != nil {
+			continue
+		}
+		entries++
+		points += e.cache.Len()
+	}
+	return entries, points, r.evictions.Load(), r.retired.Load()
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEvalCachePersistsAcrossRequests pins the cross-request fast path:
+// with a plan cache too small to remember earlier specs (and no durable
+// store), a re-tune must run a fresh search — but against the
+// fingerprint's persistent evaluation cache, so nearly every candidate
+// pricing is a hit.
+func TestEvalCachePersistsAcrossRequests(t *testing.T) {
+	s := New(WithCacheCap(1))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specA := smallSpec()
+	specB := smallSpec()
+	specB.Batch = 16 // different plan-cache key, same analyzer fingerprint
+
+	var first TuneResponse
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specA}, &first); status != http.StatusOK {
+		t.Fatalf("tune A: status %d body %s", status, body)
+	}
+	if first.EvalCacheMiss == 0 {
+		t.Fatal("first search reported no eval-cache misses; the test premise is broken")
+	}
+	// Tuning B evicts A's plan-cache entry (cap 1).
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specB}, nil); status != http.StatusOK {
+		t.Fatalf("tune B: status %d body %s", status, body)
+	}
+
+	var again TuneResponse
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specA}, &again); status != http.StatusOK {
+		t.Fatalf("re-tune A: status %d body %s", status, body)
+	}
+	if again.Cached {
+		t.Fatal("re-tune served from the plan cache; it was supposed to be evicted")
+	}
+	if again.EvalHitRate < 0.95 {
+		t.Errorf("re-search hit rate %.3f, want ~1.0 (hits %d, misses %d)",
+			again.EvalHitRate, again.EvalCacheHits, again.EvalCacheMiss)
+	}
+
+	st := s.Stats()
+	if st.TunesRun != 3 {
+		t.Errorf("ran %d searches, want 3", st.TunesRun)
+	}
+	// A and B differ only in batch, which the fingerprint excludes:
+	// one shared registry entry, never evicted at the default cap.
+	if st.EvalCacheEntries != 1 || st.EvalCachePoints == 0 {
+		t.Errorf("registry holds %d entries / %d points, want 1 entry with points",
+			st.EvalCacheEntries, st.EvalCachePoints)
+	}
+	if st.EvalCacheEvictions != 0 {
+		t.Errorf("%d evictions at the default cap", st.EvalCacheEvictions)
+	}
+	if st.EvalCachePointCap != defaultEvalCachePoints {
+		t.Errorf("point cap %d, want default %d", st.EvalCachePointCap, defaultEvalCachePoints)
+	}
+}
+
+// TestEvalCacheCapEvictsColdFingerprint pins the bound: a 1-point budget
+// forces every fingerprint change to retire the previous cache, so a
+// re-tune of the first spec re-prices from scratch and the eviction
+// counters advance.
+func TestEvalCacheCapEvictsColdFingerprint(t *testing.T) {
+	s := New(WithCacheCap(1), WithEvalCacheCap(1))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specA := smallSpec()
+	specB := smallSpec()
+	specB.Model = "falcon-1.3b" // distinct analyzer fingerprint
+
+	var first TuneResponse
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specA}, &first); status != http.StatusOK {
+		t.Fatalf("tune A: status %d body %s", status, body)
+	}
+	// B's search makes A's cache the eviction victim (B is protected as
+	// the entry just used).
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specB}, nil); status != http.StatusOK {
+		t.Fatalf("tune B: status %d body %s", status, body)
+	}
+
+	var again TuneResponse
+	if status, body := postJSON(t, ts.URL+"/tune", TuneRequest{WorkloadSpec: specA}, &again); status != http.StatusOK {
+		t.Fatalf("re-tune A: status %d body %s", status, body)
+	}
+	if again.Cached {
+		t.Fatal("re-tune served from the plan cache; it was supposed to be evicted")
+	}
+	if again.EvalCacheMiss == 0 {
+		t.Error("re-tune after eviction reported no misses; the cache survived a 1-point cap")
+	}
+	if again.EvalHitRate > 0.5 {
+		t.Errorf("re-search after eviction hit rate %.3f; expected a cold cache", again.EvalHitRate)
+	}
+
+	st := s.Stats()
+	if st.EvalCacheEvictions < 1 {
+		t.Errorf("%d evictions, want at least 1", st.EvalCacheEvictions)
+	}
+	if st.EvalCachePointsRetired == 0 {
+		t.Error("evictions retired no points")
+	}
+	if st.EvalCachePointCap != 1 {
+		t.Errorf("point cap %d, want 1", st.EvalCachePointCap)
+	}
+	// Only the most recent fingerprint's cache survives a 1-point cap.
+	if st.EvalCacheEntries != 1 {
+		t.Errorf("registry holds %d entries, want 1", st.EvalCacheEntries)
+	}
+}

@@ -39,9 +39,13 @@
 // dominated regions early and never degrades plan quality.
 //
 // The handler is safe for arbitrary concurrency: the plan cache is
-// mutex-guarded with per-key in-flight coalescing, each tuner run owns a
-// private evaluation cache, and the underlying analyzer is itself
-// concurrency-safe.
+// mutex-guarded with per-key in-flight coalescing, tuner runs share
+// lock-free per-fingerprint evaluation caches (see evalreg.go) that
+// persist for the life of the process — a re-search of a known analyzer
+// configuration starts ~fully warm — and the underlying analyzer is
+// itself concurrency-safe. The eval-cache registry is bounded by total
+// cached points (-eval-cache-cap on mistserve, WithEvalCacheCap here);
+// least-recently-used caches are dropped whole when it fills.
 package serve
 
 import (
@@ -267,6 +271,16 @@ type Stats struct {
 	PlanCacheCap       int    `json:"planCacheCap"`
 	PlanCacheEvictions uint64 `json:"planCacheEvictions"`
 
+	// Cross-request evaluation-cache registry: live analyzer-config
+	// fingerprints, total memoized (shape, knobs) pricings across them,
+	// the configured point budget, and the cumulative cost of staying
+	// under it (whole caches dropped, points those caches held).
+	EvalCacheEntries       int    `json:"evalCacheEntries"`
+	EvalCachePoints        int    `json:"evalCachePoints"`
+	EvalCachePointCap      int    `json:"evalCachePointCap"`
+	EvalCacheEvictions     uint64 `json:"evalCacheEvictions"`
+	EvalCachePointsRetired uint64 `json:"evalCachePointsRetired"`
+
 	// Durable plan store (zero-valued when no store is attached):
 	// indexed plans, exact-fingerprint hits served without a search,
 	// searches seeded from a stored neighbor, and the fraction of
@@ -344,10 +358,12 @@ type Server struct {
 	mu    sync.Mutex
 	plans map[string]*planEntry
 
-	cacheCap   int
-	store      *store.Store
-	jobs       *jobs.Manager
-	jobWorkers int
+	cacheCap     int
+	store        *store.Store
+	jobs         *jobs.Manager
+	jobWorkers   int
+	evalCacheCap int
+	evalReg      *evalRegistry
 
 	cluster *cluster.Cluster
 	logFn   func(format string, args ...any)
@@ -415,6 +431,19 @@ func WithCacheCap(n int) Option {
 	}
 }
 
+// WithEvalCacheCap bounds the cross-request evaluation-cache registry
+// at n total memoized pricing points across all analyzer fingerprints
+// (values < 1 keep the default, roughly 4M points / 400 MB). When the
+// bound is exceeded, least-recently-used per-fingerprint caches are
+// dropped whole; a dropped fingerprint re-prices on its next search.
+func WithEvalCacheCap(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.evalCacheCap = n
+		}
+	}
+}
+
 // WithJobWorkers sets the async job pool width (values < 1 keep the
 // default).
 func WithJobWorkers(n int) Option {
@@ -475,6 +504,7 @@ func New(opts ...Option) *Server {
 		o(s)
 	}
 	s.limits = s.limits.withDefaults()
+	s.evalReg = newEvalRegistry(s.evalCacheCap)
 	s.tuneGate = newGate("/tune", s.limits)
 	s.simulateGate = newGate("/simulate", s.limits)
 	// The job queue shares the admission bound; the manager treats 0 as
@@ -678,15 +708,23 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 	}
 	s.tunesRun.Add(1)
 	// The prepare span covers tuner construction (operator DB +
-	// interference fit — real milliseconds) and the warm-start
-	// neighbor lookup; without it the gap between store-check and
-	// search would be unaccounted trace time.
+	// interference fit — real milliseconds, skipped entirely when the
+	// fingerprint's analyzer is already in the eval-cache registry) and
+	// the warm-start neighbor lookup; without it the gap between
+	// store-check and search would be unaccounted trace time.
 	_, psp := trace.StartSpan(ctx, "prepare")
-	tn, err := core.New(w, cl, space)
+	an, cache, reused, err := s.evalReg.acquire(ws, w, cl, space)
 	if err != nil {
 		psp.Annotate("error", err.Error())
 		psp.End()
 		return nil, nil, &badRequestError{err}
+	}
+	psp.Annotate("evalCacheReused", reused)
+	tn, err := core.NewShared(w, cl, an, space, cache)
+	if err != nil {
+		psp.Annotate("error", err.Error())
+		psp.End()
+		return nil, nil, err
 	}
 	if s.store != nil {
 		if nb, ok := s.store.Nearest(fp); ok {
@@ -705,7 +743,11 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 	tsp.Annotate("candidates", res.Candidates)
 	tsp.Annotate("sgPairs", res.SGPairs)
 	tsp.Annotate("warmStarted", res.WarmStarted)
+	tsp.Annotate("evalCacheHitRate", res.CacheHitRate())
 	tsp.End()
+	// The search just grew its fingerprint's cache; shed the coldest
+	// caches if the registry is now over its point budget.
+	s.evalReg.enforceCap(evalKey(ws, space))
 	if res.WarmStarted {
 		s.warmStarts.Add(1)
 	}
@@ -742,14 +784,16 @@ func (s *Server) runTune(ctx context.Context, ws WorkloadSpec, w plan.Workload, 
 }
 
 // analyzerFor returns a calibrated analyzer for a spec, reusing the one
-// attached to the spec's plan-cache entry when present. Building one is
-// the expensive part of /simulate (operator DB + interference fit), so
-// repeated simulation traffic must not pay it per request. The wait on
-// an in-flight entry is bounded by ctx so an inline-plan /simulate
-// honors its request deadline instead of parking behind a slow search.
-func (s *Server) analyzerFor(ctx context.Context, key string, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
+// attached to the spec's plan-cache entry when present and falling back
+// to the eval-cache registry's shared analyzer (which calibrates at most
+// once per fingerprint). Building one is the expensive part of
+// /simulate (operator DB + interference fit), so repeated simulation
+// traffic must not pay it per request. The wait on an in-flight entry
+// is bounded by ctx so an inline-plan /simulate honors its request
+// deadline instead of parking behind a slow search.
+func (s *Server) analyzerFor(ctx context.Context, ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
 	s.mu.Lock()
-	e, ok := s.plans[key]
+	e, ok := s.plans[ws.key()]
 	s.mu.Unlock()
 	if ok {
 		select {
@@ -761,11 +805,11 @@ func (s *Server) analyzerFor(ctx context.Context, key string, w plan.Workload, c
 			return e.an, nil
 		}
 	}
-	tn, err := core.New(w, cl, space)
+	an, err := s.evalReg.analyzer(ws, w, cl, space)
 	if err != nil {
 		return nil, &badRequestError{err}
 	}
-	return tn.An, nil
+	return an, nil
 }
 
 func (s *Server) handleTune(rw http.ResponseWriter, req *http.Request) {
@@ -847,7 +891,7 @@ func (s *Server) handleSimulate(rw http.ResponseWriter, req *http.Request) {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("invalid plan: %w", err))
 		return
 	}
-	an, err := s.analyzerFor(req.Context(), sr.WorkloadSpec.key(), w, cl, space)
+	an, err := s.analyzerFor(req.Context(), sr.WorkloadSpec, w, cl, space)
 	if err != nil {
 		writeError(rw, statusFor(err), err)
 		return
@@ -940,6 +984,12 @@ func (s *Server) scalarStats() Stats {
 	if s.store != nil {
 		st.StoreSize = s.store.Len()
 	}
+	entries, points, evicted, retired := s.evalReg.snapshot()
+	st.EvalCacheEntries = entries
+	st.EvalCachePoints = points
+	st.EvalCachePointCap = s.evalReg.capPoints
+	st.EvalCacheEvictions = evicted
+	st.EvalCachePointsRetired = retired
 	if runs := st.TunesRun; runs > 0 {
 		st.WarmStartHitRate = float64(st.WarmStarts) / float64(runs)
 	}

@@ -216,6 +216,10 @@ func (p *Program) EvalBatch(frames [][]float64) [][]float64 {
 // callers that drive EvalFrame in a hot loop.
 func (p *Program) Scratch() []float64 { return make([]float64, p.numRegs) }
 
+// NumRegs reports the register count EvalFrame needs, for callers that
+// manage a reusable scratch buffer across programs.
+func (p *Program) NumRegs() int { return p.numRegs }
+
 // MergeVars returns the sorted union of the free variables of exprs,
 // a convenience for building a Compile var order.
 func MergeVars(exprs ...*Expr) []string {
