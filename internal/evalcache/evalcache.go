@@ -117,8 +117,8 @@ func knobKey(k schedule.Knobs) Key {
 // KnobSet is an immutable, order-preserving batch of knobs prepared for
 // interned pricing. The tuner builds one per distinct layer count per
 // search (the knob grid depends only on the layer count) and reuses it
-// across every (stage, shape) sweep, so the cache can memoize the set's
-// interned ids and skip all per-candidate key construction.
+// across every (stage, shape) sweep, so the set can memoize its interned
+// ids and skip all per-candidate key construction.
 type KnobSet struct {
 	knobs []schedule.Knobs
 	// firstOf[i] is the position of the first entry with identical knob
@@ -127,6 +127,22 @@ type KnobSet struct {
 	// duplicate handling of EvaluateBatch.
 	firstOf []int32
 	uniq    int
+
+	// res memoizes the set's interned ids against the last cache that
+	// resolved it. The memo lives on the (request-scoped) set, not the
+	// (process-lifetime) cache, so a persistent cache retains no
+	// per-request pointers and dies with nothing to evict; the ids die
+	// with their set. Resolution is deterministic per cache (knobID
+	// assigns each content one stable id), so a racing re-resolution
+	// publishes an identical vector and last-write-wins is safe.
+	res atomic.Pointer[setResolution]
+}
+
+// setResolution pairs an interned id vector with the cache whose
+// interning tables it was resolved against.
+type setResolution struct {
+	cache *Cache
+	ids   []uint32
 }
 
 // NewKnobSet copies ks into an immutable interning-ready set.
@@ -195,11 +211,10 @@ type Cache struct {
 
 	// Interning tables: canonical shape -> id and knob content -> id.
 	// Read-mostly after warmup; the hot path resolves a whole KnobSet's
-	// ids once and memoizes them in sets.
+	// ids once and the set memoizes them (see KnobSet.res).
 	intern   sync.RWMutex
 	shapeIDs map[Key]uint32
 	knobIDs  map[Key]uint32
-	sets     atomic.Pointer[map[*KnobSet][]uint32]
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -317,32 +332,16 @@ func (c *Cache) resolveIDs(s *KnobSet, dst []uint32) []uint32 {
 	return dst
 }
 
-// setIDs returns the memoized interned ids of a KnobSet, resolving and
-// publishing them on first use. Sets are few (one per layer count per
-// search) and long-lived, so the copy-on-write map stays tiny.
+// setIDs returns the memoized interned ids of a KnobSet against this
+// cache, resolving and publishing them onto the set on first use. A set
+// alternating between caches (which no current caller does) would
+// re-resolve on each switch — correct, just unmemoized.
 func (c *Cache) setIDs(s *KnobSet) []uint32 {
-	if m := c.sets.Load(); m != nil {
-		if ids, ok := (*m)[s]; ok {
-			return ids
-		}
+	if r := s.res.Load(); r != nil && r.cache == c {
+		return r.ids
 	}
 	ids := c.resolveIDs(s, nil)
-	c.intern.Lock()
-	old := c.sets.Load()
-	next := make(map[*KnobSet][]uint32, 8)
-	if old != nil {
-		if have, ok := (*old)[s]; ok {
-			// Lost the publish race; keep the first resolution.
-			c.intern.Unlock()
-			return have
-		}
-		for k, v := range *old {
-			next[k] = v
-		}
-	}
-	next[s] = ids
-	c.sets.Store(&next)
-	c.intern.Unlock()
+	s.res.Store(&setResolution{cache: c, ids: ids})
 	return ids
 }
 
@@ -358,7 +357,12 @@ func (c *Cache) shardFor(k uint64) *shard {
 }
 
 // lookup is the lock-free read path: the immutable snapshot first, the
-// dirty map (under its shard lock) only while the shard is amended.
+// dirty map (under its shard lock) only while the shard is amended. The
+// slow path re-checks the read snapshot under the lock — sync.Map's
+// double-check — because a promotion racing between our snapshot load
+// and the amended load moves the key from dirty into a new snapshot;
+// without the re-check that window reads as a spurious miss and the
+// point is silently re-priced.
 func (c *Cache) lookup(k uint64) (schedule.Result, bool) {
 	sh := c.shardFor(k)
 	if r, ok := (*sh.read.Load())[k]; ok {
@@ -368,7 +372,10 @@ func (c *Cache) lookup(k uint64) (schedule.Result, bool) {
 		return schedule.Result{}, false
 	}
 	sh.mu.Lock()
-	r, ok := sh.dirty[k]
+	r, ok := (*sh.read.Load())[k]
+	if !ok {
+		r, ok = sh.dirty[k]
+	}
 	sh.mu.Unlock()
 	return r, ok
 }

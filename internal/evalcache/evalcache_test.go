@@ -219,6 +219,60 @@ func TestEvaluateBatchPartialHitsAndDuplicates(t *testing.T) {
 	}
 }
 
+// TestKnobSetSharedAcrossCaches pins the ownership of the set-id memo:
+// the interned ids live on the (request-scoped) KnobSet, keyed by the
+// cache that resolved them, so the (process-lifetime) cache retains no
+// per-request pointers — and a set re-priced through a second cache
+// with a different interning order must re-resolve rather than reuse
+// the first cache's ids (which would alias foreign points and serve
+// wrong results).
+func TestKnobSetSharedAcrossCaches(t *testing.T) {
+	an := newTestAnalyzer(t)
+	c1, c2 := New(an), New(an)
+	shape := testShape()
+	knobs := []schedule.Knobs{
+		{Layers: 32, Ckpt: 0},
+		{Layers: 32, Ckpt: 8},
+	}
+	set := NewKnobSet(knobs)
+
+	// Skew c2's knob-id assignment so the same set resolves to different
+	// id vectors on the two caches.
+	if _, err := c2.Evaluate(shape, schedule.Knobs{Layers: 32, Ckpt: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sc Scratch
+	check := func(c *Cache, label string) {
+		t.Helper()
+		rs, err := c.EvaluateSet(shape, set, nil, &sc)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for i, k := range knobs {
+			direct, err := an.Evaluate(shape, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs[i] != direct {
+				t.Errorf("%s: set[%d] %+v != direct %+v", label, i, rs[i], direct)
+			}
+		}
+	}
+	check(c1, "first cache, cold")
+	check(c2, "second cache after memo on first") // must re-resolve, not alias c1's ids
+	check(c1, "back on first cache")
+
+	// Both caches priced the two points exactly once each; the third
+	// sweep was pure hits on c1.
+	if st := c1.Stats(); st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("c1 stats %+v, want 2 misses / 2 hits", st)
+	}
+	if st := c2.Stats(); st.Misses != 3 || st.Hits != 0 {
+		t.Errorf("c2 stats %+v, want 3 misses / 0 hits", st)
+	}
+}
+
 func TestEvaluateErrorNotCached(t *testing.T) {
 	an := newTestAnalyzer(t)
 	c := New(an)

@@ -155,7 +155,7 @@ func TestConcurrentMixedHitMissLoad(t *testing.T) {
 // its canonical key, so any torn read (a Result assembled from two
 // different stores, or a slice observed mid-resize) shows up as a field
 // mismatch. Run under `make race` this also exercises the COW shard
-// promotion and the per-cache KnobSet id memo concurrently.
+// promotion and the set-owned id memo concurrently.
 func TestConcurrentEvaluateSetNoTornReads(t *testing.T) {
 	ev := &syntheticEvaluator{}
 	c := New(ev)

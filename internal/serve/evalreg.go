@@ -27,13 +27,27 @@ import (
 // is a few thousand, so entry-count capacity would be meaningless. When
 // the total exceeds the cap, least-recently-used entries are dropped
 // whole (their analyzer too); a dropped fingerprint simply re-prices on
-// its next search, exactly like the first request of a process.
+// its next search, exactly like the first request of a process. Every
+// entry is also charged a fixed overhead on top of its points — the
+// fingerprint space is user-controlled (Seq, GPUs), so simulate-only
+// entries that calibrate an analyzer but memoize ~0 points must still
+// accumulate toward the cap and age out, or diverse /simulate traffic
+// would grow the registry without bound. The cap is therefore enforced
+// on the analyzer-only path too, not just after searches.
 
 // defaultEvalCachePoints bounds the registry's total memoized points
 // when the operator does not set one. A point is a packed uint64 key
 // plus a schedule.Result (~100 B with map overhead), so the default caps
 // the registry around 400 MB — roughly twenty fully-swept fingerprints.
 const defaultEvalCachePoints = 4 << 20
+
+// entryOverheadPoints is the point-equivalent fixed cost charged to each
+// registry entry: the calibrated analyzer, its interference fit, and its
+// internal compiled-program cache are real memory even when the entry
+// has memoized no points. Charging it makes point-light entries
+// evictable by the same LRU sweep and bounds the entry count at
+// capPoints/entryOverheadPoints (1024 entries at the default cap).
+const entryOverheadPoints = 4096
 
 // evalKey is the analyzer-config fingerprint: everything the analyzer's
 // answers depend on, and nothing more. The global batch is deliberately
@@ -115,23 +129,31 @@ func (r *evalRegistry) acquire(ws WorkloadSpec, w plan.Workload, cl *hardware.Cl
 
 // analyzer returns the calibrated analyzer for a spec (shared with any
 // searches of the same fingerprint), for callers that only need pricing,
-// not a tuner — /simulate's measurement path.
+// not a tuner — /simulate's measurement path. It enforces the cap like
+// the search path does: fingerprints are user-controlled, so
+// analyzer-only traffic must not grow the registry without bound.
 func (r *evalRegistry) analyzer(ws WorkloadSpec, w plan.Workload, cl *hardware.Cluster, space core.Space) (*schedule.Analyzer, error) {
 	an, _, _, err := r.acquire(ws, w, cl, space)
-	return an, err
+	if err != nil {
+		return nil, err
+	}
+	r.enforceCap(evalKey(ws, space))
+	return an, nil
 }
 
-// enforceCap drops least-recently-used entries until the total cached
-// points fit the cap. keep names the entry the caller just used; it is
-// never evicted, so a single over-budget fingerprint keeps its (still
-// useful) cache rather than thrashing on every request.
+// enforceCap drops least-recently-used entries until the total charge —
+// cached points plus a fixed per-entry overhead — fits the cap. keep
+// names the entry the caller just used; it is never evicted, so a
+// single over-budget fingerprint keeps its (still useful) cache rather
+// than thrashing on every request.
 func (r *evalRegistry) enforceCap(keep string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	type sized struct {
 		key string
 		e   *evalEntry
-		n   int
+		n   int // charged size: points + per-entry overhead
+		pts int // actual memoized points (the retired gauge counts these)
 	}
 	total := 0
 	var all []sized
@@ -144,9 +166,10 @@ func (r *evalRegistry) enforceCap(keep string) {
 		if e.err != nil {
 			continue
 		}
-		n := e.cache.Len()
+		pts := e.cache.Len()
+		n := entryOverheadPoints + pts
 		total += n
-		all = append(all, sized{key: k, e: e, n: n})
+		all = append(all, sized{key: k, e: e, n: n, pts: pts})
 	}
 	for total > r.capPoints {
 		victim := -1
@@ -163,7 +186,7 @@ func (r *evalRegistry) enforceCap(keep string) {
 		}
 		delete(r.entries, all[victim].key)
 		r.evictions.Add(1)
-		r.retired.Add(uint64(all[victim].n))
+		r.retired.Add(uint64(all[victim].pts))
 		total -= all[victim].n
 		all[victim] = all[len(all)-1]
 		all = all[:len(all)-1]

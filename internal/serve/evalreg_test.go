@@ -116,3 +116,49 @@ func TestEvalCacheCapEvictsColdFingerprint(t *testing.T) {
 		t.Errorf("registry holds %d entries, want 1", st.EvalCacheEntries)
 	}
 }
+
+// TestAnalyzerOnlyEntriesBounded pins the /simulate-path bound: the
+// fingerprint components are user-controlled (Seq up to 65536, GPUs up
+// to 4096), so analyzer-only traffic — which calibrates an analyzer but
+// memoizes ~0 points — must still be charged against the cap and aged
+// out. A budget of one entry overhead keeps at most the just-used
+// fingerprint alive no matter how many distinct specs pass through.
+func TestAnalyzerOnlyEntriesBounded(t *testing.T) {
+	r := newEvalRegistry(entryOverheadPoints)
+	const fingerprints = 5
+	for i := 0; i < fingerprints; i++ {
+		ws := smallSpec()
+		ws.Seq = 512 << i // distinct analyzer fingerprint per iteration
+		w, cl, space, err := ws.normalize()
+		if err != nil {
+			t.Fatalf("normalize seq=%d: %v", ws.Seq, err)
+		}
+		if _, err := r.analyzer(ws, w, cl, space); err != nil {
+			t.Fatalf("analyzer seq=%d: %v", ws.Seq, err)
+		}
+	}
+	entries, _, evictions, _ := r.snapshot()
+	if entries != 1 {
+		t.Errorf("registry holds %d analyzer-only entries, want 1 (the protected last-used)", entries)
+	}
+	if want := uint64(fingerprints - 1); evictions != want {
+		t.Errorf("%d evictions across %d distinct simulate-only fingerprints, want %d",
+			evictions, fingerprints, want)
+	}
+
+	// The surviving entry is still the shared one: re-acquiring the last
+	// fingerprint must reuse it, not rebuild.
+	ws := smallSpec()
+	ws.Seq = 512 << (fingerprints - 1)
+	w, cl, space, err := ws.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, reused, err := r.acquire(ws, w, cl, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Error("last-used fingerprint was evicted; the keep protection failed")
+	}
+}
