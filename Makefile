@@ -12,7 +12,7 @@ BENCH_TOLERANCE ?= 0.25
 # Where bench-profile drops its pprof output.
 PROFILE_DIR ?= profiles
 
-.PHONY: ci vet build test race property bench bench-json bench-regression bench-profile serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke
+.PHONY: ci vet build test race property bench bench-json bench-regression bench-profile serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke slo-smoke
 
 ci: lint build race property ## full tier-1 + race + property gate
 
@@ -53,20 +53,26 @@ cluster-smoke: ## 3-node in-process cluster: mixed replay, then a failover drill
 elastic-smoke: ## 3-node cluster with a mid-run join and drain; fails on any 5xx, transport error, or post-drill replication/single-flight violation
 	$(GO) run ./cmd/mistload -scenario elastic -inproc -nodes 3 -duration 7s -seed 1 -concurrency 4 -join n4@2s -drain n1@4s
 
+slo-smoke: ## 3-node mixed replay scored against the committed SLO spec (budget exhaustion fails), plus the induced-failure drill: fast-burn page within bound, resolved after recovery
+	$(GO) run ./cmd/mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1 -concurrency 4 -slo-config testdata/slo.json
+	$(GO) test -run 'TestSLOKillDrill|TestSLOEndToEnd' -count=1 -v ./internal/serve
+
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
-bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortization, tracing overhead
+bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortization, tracing overhead, SLO evaluation
 	$(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x .
 	$(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
 	$(GO) test -run xxx -bench 'BenchmarkTraceOverhead' ./internal/trace
+	$(GO) test -run xxx -bench 'BenchmarkSLOEvaluate' -benchtime=2s ./internal/slo
 
 bench-json: ## run the bench set and record a machine-readable trajectory point at $(BENCH_OUT)
 	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x -benchmem ./internal/core ; \
 	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x -benchmem ./internal/serve ; \
-	  $(GO) test -run xxx -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace ) \
+	  $(GO) test -run xxx -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSLOEvaluate' -benchtime=2s -benchmem ./internal/slo ) \
 	| $(GO) run ./tools/bench2json -out $(BENCH_OUT)
 
 bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op or allocs/op growth

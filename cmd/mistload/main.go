@@ -33,17 +33,25 @@
 //	mistload -scenario mixed -inproc -duration 5s -seed 1
 //	mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1
 //	mistload -scenario mixed -inproc -nodes 3 -duration 5s -trace-sample 1
+//	mistload -scenario mixed -inproc -nodes 3 -duration 5s -slo-config testdata/slo.json
 //	mistload -scenario failover -inproc -nodes 3 -duration 6s -kill n2@3s
 //	mistload -scenario elastic -inproc -nodes 3 -duration 7s -join n4@2s -drain n1@4s
 //	mistload -scenario cold-storm -addr http://localhost:8080 -duration 30s -rate 50
 //	mistload -scenario mixed -addr http://10.0.0.1:8080,http://10.0.0.2:8080 -duration 30s
 //	mistload -list
 //
+// With -slo-config the run is also scored against a declarative SLO
+// spec (see DESIGN.md): the report gains an "slo" section with the
+// client-side verdict per objective, in-process servers evaluate the
+// same spec continuously (their fleet fold lands in "fleetHealth"),
+// and a run that exhausts any error budget exits non-zero.
+//
 // Exit status: 0 on a clean run; 1 when the run saw server 5xx or
 // transport errors (pass -allow-5xx to report them without failing),
-// when the post-drill replication audit found a violation, or when a
+// when the post-drill replication audit found a violation, when a
 // -trace-sample run's span audit failed (a sampled op that published
-// no root span, or a span left unfinished after the job tail drained).
+// no root span, or a span left unfinished after the job tail drained),
+// or when a -slo-config run exhausted an objective's error budget.
 package main
 
 import (
@@ -61,6 +69,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/trace"
 )
 
@@ -88,10 +97,16 @@ func main() {
 		allow5xx    = flag.Bool("allow-5xx", false, "do not fail the run on server 5xx responses")
 		traceSample = flag.Int("trace-sample", 0, "stamp X-Mist-Trace on every Nth op, then audit spans and report per-phase latency (0: off; 1: every op)")
 		traceSettle = flag.Duration("trace-settle", 2*time.Minute, "how long the trace audit waits for open spans (queued job tails) to drain")
+		sloPath     = flag.String("slo-config", "", "JSON SLO spec: score the run against it (report gains an slo section; budget exhaustion fails the run) and attach it to in-process servers")
 		list        = flag.Bool("list", false, "list scenarios and exit")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println("mistload " + serve.ReadBuildInfo().String())
+		return
+	}
 	if *list {
 		for _, name := range load.ScenarioNames() {
 			fmt.Printf("%-16s %s\n", name, load.ScenarioDescription(name))
@@ -127,6 +142,15 @@ func main() {
 		}
 	}
 
+	var sloCfg *slo.Config
+	if *sloPath != "" {
+		cfg, err := slo.LoadConfig(*sloPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sloCfg = &cfg
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -139,13 +163,18 @@ func main() {
 		MaxOps:      *maxOps,
 		BaseURL:     *addr,
 		TraceSample: *traceSample,
+		SLOConfig:   sloCfg,
 	}
-	// In-process servers only record traces when built with a recorder;
-	// a ring well past the default keeps the phase breakdown complete
-	// for short sampled runs.
+	// Extra options shared by both in-process paths. Servers only record
+	// traces when built with a recorder — a ring well past the default
+	// keeps the phase breakdown complete for short sampled runs — and
+	// only evaluate SLOs when built with the spec.
 	var serverTraceOpts []serve.Option
 	if *traceSample > 0 {
 		serverTraceOpts = append(serverTraceOpts, serve.WithTrace(trace.Options{Capacity: 4096}))
+	}
+	if sloCfg != nil && *inproc {
+		serverTraceOpts = append(serverTraceOpts, serve.WithSLO(*sloCfg))
 	}
 	var (
 		target load.Target
@@ -153,8 +182,11 @@ func main() {
 		// audit folds; nil skips the audit (a killed node's recorder dies
 		// with it, taking its counters along).
 		traceTargets []load.Target
-		traceLC      *serve.LocalCluster // in-proc cluster: re-list nodes post-run (a -join adds one)
-		auditLC      *serve.LocalCluster // set for elastic (join/drain) drills
+		// healthTargets answer the post-run GET /cluster/health probe;
+		// the first node that replies supplies the fleet verdict.
+		healthTargets []load.Target
+		traceLC       *serve.LocalCluster // in-proc cluster: re-list nodes post-run (a -join adds one)
+		auditLC       *serve.LocalCluster // set for elastic (join/drain) drills
 		// The exactly-R audit is only sound when every dead node's loss
 		// has been declared: a killed member still in the ring keeps its
 		// replica slots, so its keys legitimately sit at R-1 live copies
@@ -171,6 +203,7 @@ func main() {
 		defer s.Close()
 		target = load.NewHandlerTarget(s.Handler())
 		traceTargets = []load.Target{target}
+		healthTargets = traceTargets
 		log.Printf("replaying %q in-process (seed %d, %v, %d workers)",
 			*scenario, *seed, *duration, *concurrency)
 	case *addr == "":
@@ -195,6 +228,7 @@ func main() {
 		for i, id := range ids {
 			perNode[i] = load.NewHandlerTarget(lc.Handler(id))
 		}
+		healthTargets = perNode
 		traceLC = lc
 		mt, err := load.NewMultiTarget(perNode...)
 		if err != nil {
@@ -266,6 +300,7 @@ func main() {
 			}
 			traceTargets = append(traceTargets, t)
 		}
+		healthTargets = traceTargets
 		if len(addrs) == 1 {
 			target = client
 		} else {
@@ -310,6 +345,18 @@ func main() {
 			traceAuditErr = aerr
 		}
 	}
+	if sloCfg != nil && len(healthTargets) > 0 {
+		hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fh, ferr := load.FetchFleetHealth(hctx, healthTargets)
+		hcancel()
+		if ferr != nil {
+			// A live -addr fleet built without -slo-config answers 404;
+			// the client-side score still stands on its own.
+			log.Printf("skipping fleet health: %v", ferr)
+		} else {
+			rep.FleetHealth = fh
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -350,6 +397,15 @@ func main() {
 		}
 		log.Printf("elastic audit clean: epoch %d, %d fingerprints each on exactly %d of live members %v, %d searches total",
 			audit.Epoch, audit.Fingerprints, min(audit.Replicas, len(audit.Live)), audit.Live, audit.SearchesRun)
+	}
+	if rep.SLO != nil && !rep.SLO.Met {
+		var exhausted []string
+		for _, st := range rep.SLO.Objectives {
+			if st.State != slo.StateOK {
+				exhausted = append(exhausted, fmt.Sprintf("%s (budget remaining %.3f)", st.Name, st.BudgetRemaining))
+			}
+		}
+		log.Fatalf("FAIL: SLO error budget exhausted: %s", strings.Join(exhausted, ", "))
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux, served at -debug-addr
@@ -49,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -79,8 +81,16 @@ func main() {
 		vnodes    = flag.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0: default 128)")
 		probeIvl  = flag.Duration("probe-interval", 2*time.Second, "cluster mode: active health-probe interval")
 		rebalIvl  = flag.Duration("rebalance-interval", 15*time.Second, "cluster mode: anti-entropy repair cadence (0: kick-driven only)")
+
+		sloPath = flag.String("slo-config", "", "JSON SLO spec: evaluate it continuously and serve verdicts at GET /slo and GET /cluster/health")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mistserve " + serve.ReadBuildInfo().String())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -103,6 +113,15 @@ func main() {
 			Capacity:    *traceRing,
 			SampleEvery: *traceSample,
 		}),
+	}
+	if *sloPath != "" {
+		cfg, err := slo.LoadConfig(*sloPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("slo: %d objectives from %s (interval %dms), verdicts at GET /slo and GET /cluster/health",
+			len(cfg.Objectives), *sloPath, cfg.IntervalMs)
+		opts = append(opts, serve.WithSLO(cfg))
 	}
 	if *peers != "" && *joinPeer != "" {
 		log.Fatal("-peers and -join are mutually exclusive (static boot vs elastic join)")
@@ -244,7 +263,7 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /cluster/events /healthz /stats /metrics /debug/traces)", *addr)
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /cluster/events /cluster/health /slo /healthz /stats /metrics /debug/traces)", *addr)
 	err := s.ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

@@ -47,9 +47,14 @@ func main() {
 		list      = flag.Bool("list-models", false, "list model catalog and exit")
 		storeDir  = flag.String("store-dir", "", "durable plan-store directory for batch mode")
 		workers   = flag.Int("workers", 2, "batch-mode worker pool size")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println("misttune " + serve.ReadBuildInfo().String())
+		return
+	}
 	if *list {
 		for _, n := range mist.Models() {
 			fmt.Println(n)

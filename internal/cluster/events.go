@@ -5,8 +5,9 @@ import (
 )
 
 // Event types recorded on the cluster timeline. The serving layer adds
-// its rebalance pass events under the Rebalance* types; everything
-// else is emitted by this package.
+// its rebalance pass events under the Rebalance* types and SLO alert
+// transitions under the SLO* types; everything else is emitted by this
+// package.
 const (
 	EventEpochAdopted     = "epoch-adopted"
 	EventMemberOk         = "member-ok"
@@ -15,6 +16,9 @@ const (
 	EventRebalancePull    = "rebalance-pull"
 	EventRebalancePush    = "rebalance-push"
 	EventRebalanceHandoff = "rebalance-handoff"
+	EventSLOWarning       = "slo-warning"
+	EventSLOPage          = "slo-page"
+	EventSLOResolved      = "slo-resolved"
 )
 
 // Event is one entry on a node's cluster timeline: what this node

@@ -96,6 +96,7 @@ func DefaultConfig() *Config {
 			"repro/internal/store",
 			"repro/internal/jobs",
 			"repro/internal/load",
+			"repro/internal/slo",
 			"repro/internal/trace",
 		},
 		GoroutinePkgs: []string{

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/slo"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,12 @@ type Options struct {
 	// id, forcing the server to record it end to end (0: off, 1: every
 	// op). Audit the result with AuditTraces after the run.
 	TraceSample int
+
+	// SLOConfig, when set, scores the finished run's client-side series
+	// against the spec (one-shot, whole run as the window): the report
+	// gains an `slo` section and callers are expected to exit non-zero
+	// when the verdict is unmet.
+	SLOConfig *slo.Config
 }
 
 // EndpointReport aggregates one endpoint's results.
@@ -84,6 +91,13 @@ type Report struct {
 	TracedOps  uint64                  `json:"tracedOps,omitempty"`
 	TraceAudit *TraceAudit             `json:"traceAudit,omitempty"`
 	Phases     map[string]*PhaseReport `json:"phases,omitempty"`
+
+	// SLO is the run verdict (filled when Options.SLOConfig is set);
+	// FleetHealth is the servers' own GET /cluster/health fold, filled
+	// by the caller for reconciliation (the runner only knows its
+	// client-side view).
+	SLO         *slo.RunScore    `json:"slo,omitempty"`
+	FleetHealth *slo.FleetReport `json:"fleetHealth,omitempty"`
 }
 
 // endpointOf maps an op onto the serving layer's endpoint labels, so a
@@ -283,6 +297,13 @@ func Run(ctx context.Context, target Target, opts Options) (*Report, error) {
 	}
 	if sampler != nil {
 		rep.TracedOps = sampler.sent.Load()
+	}
+	if opts.SLOConfig != nil {
+		score, err := slo.Score(reg, "load_requests_total", "load_request_seconds", *opts.SLOConfig)
+		if err != nil {
+			return nil, fmt.Errorf("load: slo scoring: %w", err)
+		}
+		rep.SLO = &score
 	}
 	return rep, nil
 }

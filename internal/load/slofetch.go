@@ -1,0 +1,50 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/slo"
+)
+
+// FetchFleetHealth pulls GET /cluster/health from the first node that
+// answers, so a run report can carry the servers' own fleet verdict
+// alongside the client-side SLO score. Nodes are tried in order —
+// a killed node's handler erroring or refusing simply moves the probe
+// to the next one. A 404 (server built without -slo-config) is
+// reported as an error so callers can log-and-skip.
+func FetchFleetHealth(ctx context.Context, nodes []Target) (*slo.FleetReport, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet health: no nodes to query")
+	}
+	var lastErr error
+	for _, t := range nodes {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://inproc/cluster/health", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := t.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("fleet health: %s: %s", resp.Status, body)
+			continue
+		}
+		var fr slo.FleetReport
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&fr)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("fleet health: decode: %w", err)
+			continue
+		}
+		return &fr, nil
+	}
+	return nil, lastErr
+}

@@ -42,8 +42,24 @@ const (
 	minBucket  = 50 * time.Microsecond // bucket 0 upper bound
 )
 
+// NumHistBuckets is the total bucket count of every Histogram,
+// including the overflow bucket — the length consumers (the SLO
+// engine's window folds, fleet histogram-bucket merges) size their
+// arrays by.
+const NumHistBuckets = numBuckets + 1
+
 // bucketBound returns bucket i's inclusive upper bound.
 func bucketBound(i int) time.Duration { return minBucket << uint(i) }
+
+// BucketUpperBound returns bucket i's inclusive upper bound; the
+// overflow bucket (i >= NumHistBuckets-1) reports the maximum
+// representable duration, i.e. effectively unbounded.
+func BucketUpperBound(i int) time.Duration {
+	if i >= numBuckets {
+		return time.Duration(math.MaxInt64)
+	}
+	return bucketBound(i)
+}
 
 // Histogram is a fixed-bucket streaming latency histogram. All methods
 // are safe for concurrent use; Observe is a few atomic adds.
@@ -52,10 +68,27 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64  // nanoseconds
 	max     atomic.Uint64 // nanoseconds
+
+	// exemplars[i] holds the trace id of the last sampled observation
+	// that landed in bucket i (nil until a traced request does), so a
+	// latency breach in bucket i links straight to a /debug/traces
+	// entry. Stored as a pointer swap: readers never see a torn string.
+	exemplars [numBuckets + 1]atomic.Pointer[string]
 }
 
 // Observe records one duration (negative durations clamp to zero).
 func (h *Histogram) Observe(d time.Duration) {
+	h.observe(d, "")
+}
+
+// ObserveTrace records one duration and, when traceID is non-empty,
+// retains it as the bucket's exemplar — the trace id of the most
+// recent sampled observation in that latency band.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID string) {
+	h.observe(d, traceID)
+}
+
+func (h *Histogram) observe(d time.Duration, traceID string) {
 	if d < 0 {
 		d = 0
 	}
@@ -65,6 +98,10 @@ func (h *Histogram) Observe(d time.Duration) {
 			idx = i
 			break
 		}
+	}
+	if traceID != "" {
+		id := traceID
+		h.exemplars[idx].Store(&id)
 	}
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
@@ -83,6 +120,10 @@ type HistSnapshot struct {
 	Sum     time.Duration
 	Max     time.Duration
 	Buckets [numBuckets + 1]uint64
+
+	// Exemplars[i] is the last sampled trace id seen in bucket i (""
+	// when no traced observation has landed there).
+	Exemplars [numBuckets + 1]string
 }
 
 // Snapshot copies the histogram state. Concurrent Observes may land
@@ -91,6 +132,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	var s HistSnapshot
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
+		if p := h.exemplars[i].Load(); p != nil {
+			s.Exemplars[i] = *p
+		}
 	}
 	s.Count = h.count.Load()
 	s.Sum = time.Duration(h.sum.Load())
@@ -138,7 +182,15 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 			if frac < 0 {
 				frac = 0
 			}
-			return lo + time.Duration(frac*float64(hi-lo))
+			v := lo + time.Duration(frac*float64(hi-lo))
+			// Never overshoot the observed maximum: with every sample
+			// clamped to zero, Max==0 but bucket 0's bound is 50µs, and
+			// uncapped interpolation would report a latency no request
+			// ever saw.
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
 		}
 		cum = next
 	}

@@ -54,6 +54,105 @@ func TestHistogramEmptyAndOverflow(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty q%v = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("single observation", func(t *testing.T) {
+		var h Histogram
+		h.Observe(3 * time.Millisecond)
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			got := s.Quantile(q)
+			if got < 0 || got > s.Max {
+				t.Errorf("q%v = %v outside [0, %v]", q, got, s.Max)
+			}
+		}
+		if got := s.Quantile(1); got != s.Max {
+			t.Errorf("q1 = %v, want the single observation's bucket capped at max %v", got, s.Max)
+		}
+	})
+	t.Run("all zero durations", func(t *testing.T) {
+		// Every sample clamps to 0, so Max is 0 — interpolation inside
+		// bucket 0 (bound 50µs) must not invent a positive latency.
+		var h Histogram
+		for i := 0; i < 10; i++ {
+			h.Observe(0)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("all-zero q%v = %v, want 0 (max is 0)", q, got)
+			}
+		}
+	})
+	t.Run("all in one bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(70 * time.Microsecond) // bucket 1: (50µs, 100µs]
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			got := s.Quantile(q)
+			if got < 50*time.Microsecond || got > 70*time.Microsecond {
+				t.Errorf("q%v = %v, want within (50µs, max 70µs]", q, got)
+			}
+		}
+	})
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(70 * time.Microsecond) // untraced: no exemplar
+	h.ObserveTrace(80*time.Microsecond, "trace-a")
+	h.ObserveTrace(90*time.Microsecond, "trace-b") // same bucket: last wins
+	h.ObserveTrace(10*time.Millisecond, "trace-slow")
+	h.ObserveTrace(20*time.Millisecond, "") // empty id must not clobber
+	s := h.Snapshot()
+	idx := -1
+	for i, b := range s.Buckets {
+		if b > 0 && s.Exemplars[i] == "trace-b" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("last-write exemplar trace-b not retained: %v", s.Exemplars)
+	}
+	found := false
+	for _, e := range s.Exemplars {
+		if e == "trace-slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slow-bucket exemplar missing: %v", s.Exemplars)
+	}
+	for i, e := range s.Exemplars {
+		if e != "" && s.Buckets[i] == 0 {
+			t.Errorf("exemplar %q in empty bucket %d", e, i)
+		}
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if got := BucketUpperBound(0); got != 50*time.Microsecond {
+		t.Errorf("bucket 0 bound %v", got)
+	}
+	if got := BucketUpperBound(1); got != 100*time.Microsecond {
+		t.Errorf("bucket 1 bound %v", got)
+	}
+	last := BucketUpperBound(NumHistBuckets - 1)
+	if last <= BucketUpperBound(NumHistBuckets-2) {
+		t.Errorf("overflow bound %v not a sentinel above the last real bound", last)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

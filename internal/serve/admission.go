@@ -155,7 +155,7 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 	hist := s.metrics.Histogram(metricRequestSeconds, metrics.Labels{"endpoint": endpoint})
 	var mu sync.Mutex
 	codeCounters := map[int]*metrics.Counter{}
-	observe := func(code int, d time.Duration) {
+	observe := func(code int, d time.Duration, traceID string) {
 		mu.Lock()
 		c, ok := codeCounters[code]
 		if !ok {
@@ -166,7 +166,10 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 		}
 		mu.Unlock()
 		c.Inc()
-		hist.Observe(d)
+		// Sampled requests leave their trace id as the latency bucket's
+		// exemplar, so an SLO latency breach links straight to a
+		// /debug/traces entry from the offending latency band.
+		hist.ObserveTrace(d, traceID)
 		if code == http.StatusTooManyRequests {
 			s.rejected429.Add(1)
 		}
@@ -208,7 +211,7 @@ func (s *Server) wrap(endpoint string, g *gate, h http.HandlerFunc) http.Handler
 			sr.Header().Set(cluster.HeaderServedBy, s.cluster.Self())
 		}
 		finish := func() {
-			observe(sr.code, time.Since(start))
+			observe(sr.code, time.Since(start), rootSp.TraceID())
 			s.logf("request %s: %s %s -> %d (%.1fms)", lid, req.Method, endpoint,
 				sr.code, float64(time.Since(start))/float64(time.Millisecond))
 			rootSp.Annotate("code", sr.code)

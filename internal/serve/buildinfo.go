@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/metrics"
+)
+
+// BuildInfo identifies the running binary: the module version the Go
+// toolchain stamped (VCS tag, pseudo-version, or "devel") and the Go
+// release that built it. All three commands (mistserve, mistload,
+// misttune) share this one helper for their -version flags, and the
+// server exports it as the mist_build_info gauge so a scrape can tell
+// which build answered.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
+// ReadBuildInfo resolves the binary's identity from the embedded module
+// metadata; binaries built without module info (go test, some vendored
+// builds) report "devel".
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "devel", Go: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if v := info.Main.Version; v != "" && v != "(devel)" {
+			bi.Version = v
+		}
+		if info.GoVersion != "" {
+			bi.Go = info.GoVersion
+		}
+	}
+	return bi
+}
+
+// String renders the identity the way the -version flags print it.
+func (b BuildInfo) String() string { return b.Version + " (" + b.Go + ")" }
+
+// registerBuildInfoGauge exports the conventional constant-1 info gauge
+// mist_build_info{version,go}: the value carries nothing, the labels
+// identify the build.
+func (s *Server) registerBuildInfoGauge() {
+	bi := ReadBuildInfo()
+	s.metrics.RegisterGauge("mist_build_info", metrics.Labels{
+		"version": bi.Version,
+		"go":      bi.Go,
+	}, func() float64 { return 1 })
+}

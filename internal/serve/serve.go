@@ -68,6 +68,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/schedule"
+	"repro/internal/slo"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/trainsim"
@@ -376,6 +377,15 @@ type Server struct {
 	tuneGate     *gate
 	simulateGate *gate
 
+	// SLO engine wiring (see slo_http.go): the declarative spec, the
+	// built engine, and the background tick loop's lifecycle.
+	sloCfg    *slo.Config
+	sloClock  slo.Clock
+	sloManual bool
+	sloEngine *slo.Engine
+	sloCancel context.CancelFunc
+	sloWG     sync.WaitGroup
+
 	tuneRequests     atomic.Uint64
 	simulateRequests atomic.Uint64
 	planCacheHits    atomic.Uint64
@@ -522,6 +532,8 @@ func New(opts ...Option) *Server {
 		s.trace = trace.NewRecorder(opt)
 	}
 	s.registerRuntimeGauges()
+	s.registerBuildInfoGauge()
+	s.initSLO()
 	if s.store != nil && s.cluster != nil {
 		// Write-through replication: every locally tuned plan lands on
 		// the fingerprint's other replicas before the response returns.
@@ -535,11 +547,12 @@ func New(opts ...Option) *Server {
 	return s
 }
 
-// Close stops the job workers (canceling queued and running jobs) and
-// the background rebalancer. The plan store needs no teardown: every
-// Put is already durable.
+// Close stops the job workers (canceling queued and running jobs), the
+// background rebalancer, and the SLO tick loop. The plan store needs no
+// teardown: every Put is already durable.
 func (s *Server) Close() {
 	s.StopRebalancer()
+	s.stopSLO()
 	s.jobs.Close()
 }
 
@@ -593,6 +606,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/fetch", s.wrap("/cluster/fetch", nil, s.handleClusterFetch))
 	mux.HandleFunc("GET /cluster/records", s.wrap("/cluster/records", nil, s.handleClusterRecords))
 	mux.HandleFunc("GET /cluster/events", s.wrap("/cluster/events", nil, s.handleClusterEvents))
+	mux.HandleFunc("GET /cluster/health", s.wrap("/cluster/health", nil, s.handleClusterHealth))
+	mux.HandleFunc("GET /slo", s.wrap("/slo", nil, s.handleSLO))
 	mux.HandleFunc("GET /debug/traces", s.wrap("/debug/traces", nil, s.handleDebugTraces))
 	return mux
 }

@@ -1,0 +1,48 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BenchmarkSLOEvaluate measures the steady-state evaluation path: a
+// four-objective spec over a 60s/1s ring with three active endpoints.
+// The bench-regression gate pins it at 0 allocs/op — evaluation runs on
+// every tick and every /slo scrape, so it must never pressure the GC.
+func BenchmarkSLOEvaluate(b *testing.B) {
+	reg := metrics.NewRegistry()
+	cfg := Config{
+		IntervalMs: 1000,
+		Objectives: []Objective{
+			{Name: "avail", Type: TypeAvailability, Target: 0.999, WindowS: 60},
+			{Name: "p99", Type: TypeLatency, Target: 0.99, Bound: 250, WindowS: 60},
+			{Name: "shed", Type: TypeRate429, Target: 0.99, WindowS: 60},
+			{Name: "queue", Type: TypeQueueDepth, Target: 0.95, Bound: 64, WindowS: 60},
+		},
+	}
+	clock := newFakeClock()
+	eng, err := NewEngine(cfg, reg, Options{
+		Clock: clock, CounterFamily: "reqs", HistFamily: "lat",
+		QueueDepth: func() float64 { return 3 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		feed(reg, "/tune", "200", 50, 5*time.Millisecond)
+		feed(reg, "/simulate", "200", 20, 40*time.Millisecond)
+		feed(reg, "/jobs", "429", 2, time.Millisecond)
+		if i%10 == 0 {
+			feed(reg, "/tune", "500", 1, 400*time.Millisecond)
+		}
+		clock.Advance(time.Second)
+		eng.Tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Evaluate()
+	}
+}

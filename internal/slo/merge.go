@@ -1,0 +1,253 @@
+package slo
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// NodeReport is the GET /slo wire payload: one node's evaluated
+// objectives plus enough raw material (windowed tallies, latency bucket
+// deltas) for a fleet fold to merge exactly.
+type NodeReport struct {
+	Node       string            `json:"node,omitempty"`
+	TimeUnixNs int64             `json:"timeUnixNs"`
+	IntervalMs int               `json:"intervalMs"`
+	Healthy    bool              `json:"healthy"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Snapshot deep-copies the current statuses into a wire-safe report
+// (Evaluate's slice is engine-internal and rewritten in place).
+func (e *Engine) Snapshot(node string) NodeReport {
+	statuses := e.Evaluate()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := NodeReport{
+		Node:       node,
+		TimeUnixNs: e.clock.Now().UnixNano(),
+		IntervalMs: e.cfg.IntervalMs,
+		Healthy:    true,
+		Objectives: make([]ObjectiveStatus, len(statuses)),
+	}
+	for i := range statuses {
+		st := statuses[i] // copies the struct; the bucket slice is shared
+		if statuses[i].LatencyBuckets != nil {
+			st.LatencyBuckets = append([]uint64(nil), statuses[i].LatencyBuckets...)
+		}
+		rep.Objectives[i] = st
+		if st.State == StatePage {
+			rep.Healthy = false
+		}
+	}
+	return rep
+}
+
+// Fleet health classifications.
+const (
+	FleetHealthy  = "healthy"
+	FleetDegraded = "degraded"
+	FleetCritical = "critical"
+)
+
+// FleetReport is the GET /cluster/health wire payload: the fleet-wide
+// fold of every reachable node's /slo reply.
+type FleetReport struct {
+	Nodes       int      `json:"nodes"`
+	Unreachable []string `json:"unreachable,omitempty"`
+	// State is healthy / degraded / critical: the worst per-objective
+	// state anywhere in the fleet.
+	State string `json:"state"`
+	// Score is the cluster health score: the minimum budget remaining
+	// across all objectives on all nodes, clamped to [0,1].
+	Score float64 `json:"score"`
+	// Objectives is the fleet fold: windowed tallies summed across
+	// nodes, latency quantiles recomputed from merged histogram
+	// buckets (never averaged), state = worst node state.
+	Objectives []ObjectiveStatus `json:"objectives"`
+	// PerNode retains each node's own report for drill-down.
+	PerNode []NodeReport `json:"perNode,omitempty"`
+}
+
+// MergeFleet folds node reports into one fleet report. Tallies and
+// histogram buckets add exactly; quantiles are recomputed from the
+// merged buckets; per-objective state is the maximum severity across
+// nodes (a page anywhere is a page fleet-wide).
+func MergeFleet(reports []NodeReport, unreachable []string) FleetReport {
+	fr := FleetReport{
+		Nodes:       len(reports),
+		Unreachable: unreachable,
+		State:       FleetHealthy,
+		Score:       1,
+		PerNode:     reports,
+	}
+	merged := map[string]*ObjectiveStatus{}
+	var order []string
+	for _, rep := range reports {
+		for i := range rep.Objectives {
+			st := &rep.Objectives[i]
+			m, ok := merged[st.Name]
+			if !ok {
+				cp := *st
+				if st.LatencyBuckets != nil {
+					cp.LatencyBuckets = append([]uint64(nil), st.LatencyBuckets...)
+				}
+				merged[st.Name] = &cp
+				order = append(order, st.Name)
+				continue
+			}
+			for w := 0; w < 3; w++ {
+				m.Windows[w].Good += st.Windows[w].Good
+				m.Windows[w].Bad += st.Windows[w].Bad
+			}
+			for i, n := range st.LatencyBuckets {
+				if m.LatencyBuckets == nil {
+					m.LatencyBuckets = make([]uint64, metrics.NumHistBuckets)
+				}
+				m.LatencyBuckets[i] += n
+			}
+			if st.MaxMs > m.MaxMs {
+				m.MaxMs = st.MaxMs
+			}
+			if severity(st.State) > severity(m.State) {
+				m.State = st.State
+			}
+			if st.ExemplarTrace != "" && m.ExemplarTrace == "" {
+				m.ExemplarTrace = st.ExemplarTrace
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		m := merged[name]
+		budget := 1 - m.Target
+		for w := 0; w < 3; w++ {
+			ws := &m.Windows[w]
+			total := ws.Good + ws.Bad
+			if total > 0 {
+				ws.BadFraction = ws.Bad / total
+			} else {
+				ws.BadFraction = 0
+			}
+			if budget > 0 {
+				ws.Burn = ws.BadFraction / budget
+			} else {
+				ws.Burn = 0
+			}
+		}
+		m.BurnFast = minF(m.Windows[WinFast].Burn, m.Windows[WinConfirm].Burn)
+		m.BurnSlow = minF(m.Windows[WinConfirm].Burn, m.Windows[WinBudget].Burn)
+		m.BudgetRemaining = 1 - m.Windows[WinBudget].Burn
+		if m.Type == TypeLatency && m.LatencyBuckets != nil {
+			var snap metrics.HistSnapshot
+			count := uint64(0)
+			for i, n := range m.LatencyBuckets {
+				snap.Buckets[i] = n
+				count += n
+			}
+			snap.Count = count
+			snap.Max = time.Duration(m.MaxMs * float64(time.Millisecond))
+			if count > 0 {
+				m.P99Ms = float64(snap.Quantile(0.99)) / float64(time.Millisecond)
+			} else {
+				m.P99Ms = 0
+			}
+		}
+		if m.BudgetRemaining < fr.Score {
+			fr.Score = clamp01(m.BudgetRemaining)
+		}
+		switch m.State {
+		case StatePage:
+			fr.State = FleetCritical
+		case StateWarning:
+			if fr.State == FleetHealthy {
+				fr.State = FleetDegraded
+			}
+		}
+		fr.Objectives = append(fr.Objectives, *m)
+	}
+	if len(unreachable) > 0 && fr.State == FleetHealthy {
+		// Nodes we could not fold are unknown health, not good health.
+		fr.State = FleetDegraded
+	}
+	return fr
+}
+
+func severity(state string) int {
+	switch state {
+	case StatePage:
+		return 2
+	case StateWarning:
+		return 1
+	}
+	return 0
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// RunScore is mistload's one-shot verdict: the whole run treated as a
+// single budget window. Met is false when any scored objective spent
+// more than its error budget — the runner exits non-zero on it.
+type RunScore struct {
+	Met        bool              `json:"met"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Score evaluates a spec once over a source's cumulative series — no
+// windows, no alerting — for end-of-run verdicts. queueDepth objectives
+// are skipped (a cumulative snapshot has no queue-depth history).
+func Score(src MetricsSource, counterFamily, histFamily string, cfg Config) (RunScore, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunScore{}, err
+	}
+	// A throwaway engine with an effectively infinite single bucket:
+	// one Tick folds the entire cumulative state into the ring, and the
+	// budget window covers it regardless of spec windows.
+	oneShot := cfg
+	oneShot.Objectives = nil
+	for _, o := range cfg.Objectives {
+		if o.Type == TypeQueueDepth {
+			continue
+		}
+		o.WindowS = 1
+		o.FastS = 1
+		o.ConfirmS = 1
+		oneShot.Objectives = append(oneShot.Objectives, o)
+	}
+	oneShot.IntervalMs = 1000
+	sc := RunScore{Met: true}
+	if len(oneShot.Objectives) == 0 {
+		return sc, nil
+	}
+	eng, err := NewEngine(oneShot, src, Options{
+		CounterFamily: counterFamily,
+		HistFamily:    histFamily,
+	})
+	if err != nil {
+		return RunScore{}, err
+	}
+	eng.Tick()
+	rep := eng.Snapshot("")
+	for i := range rep.Objectives {
+		st := &rep.Objectives[i]
+		// One-shot semantics: breached when the run's bad fraction
+		// exceeded the budget, i.e. the budget went negative.
+		if st.BudgetRemaining < 0 {
+			st.State = StatePage
+			sc.Met = false
+		} else {
+			st.State = StateOK
+		}
+	}
+	sc.Objectives = rep.Objectives
+	return sc, nil
+}

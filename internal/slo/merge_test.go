@@ -1,0 +1,172 @@
+package slo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyStatus builds a node-side latency ObjectiveStatus whose
+// observations all sit in one histogram bucket.
+func latencyStatus(name string, count uint64, lat time.Duration, maxMs float64) ObjectiveStatus {
+	st := ObjectiveStatus{
+		Name: name, Type: TypeLatency, Target: 0.99, Bound: 250,
+		State:          StateOK,
+		LatencyBuckets: make([]uint64, metrics.NumHistBuckets),
+		MaxMs:          maxMs,
+	}
+	for i := 0; i < metrics.NumHistBuckets-1; i++ {
+		if lat <= metrics.BucketUpperBound(i) {
+			st.LatencyBuckets[i] = count
+			break
+		}
+	}
+	st.Windows[WinBudget] = WindowStat{Seconds: 1800, Good: float64(count)}
+	return st
+}
+
+// TestMergeFleetBuckets pins the core aggregation rule: fleet p99 comes
+// from merged histogram buckets, not from averaging node p99s.
+func TestMergeFleetBuckets(t *testing.T) {
+	// Node a: 99 fast requests (p99 ~ 1ms). Node b: 99 slow ones
+	// (p99 ~ 800ms). Averaging node p99s would say ~400ms; the merged
+	// histogram says the fleet p99 sits in the slow bucket.
+	a := NodeReport{Node: "n1", Healthy: true, Objectives: []ObjectiveStatus{latencyStatus("p99", 99, time.Millisecond, 1)}}
+	b := NodeReport{Node: "n2", Healthy: true, Objectives: []ObjectiveStatus{latencyStatus("p99", 99, 800*time.Millisecond, 800)}}
+	fr := MergeFleet([]NodeReport{a, b}, nil)
+	if fr.Nodes != 2 || len(fr.Objectives) != 1 {
+		t.Fatalf("fleet fold: %d nodes, %d objectives", fr.Nodes, len(fr.Objectives))
+	}
+	m := fr.Objectives[0]
+	total := uint64(0)
+	for _, n := range m.LatencyBuckets {
+		total += n
+	}
+	if total != 198 {
+		t.Errorf("merged bucket total %d, want 198", total)
+	}
+	// p99 of 198 obs, half at ~800ms: rank 196 lands deep in the slow
+	// bucket — far above the 400ms a quantile average would report.
+	if m.P99Ms < 500 {
+		t.Errorf("fleet p99 %vms: looks like quantile averaging, want bucket-merged (>500ms)", m.P99Ms)
+	}
+	if fr.State != FleetHealthy {
+		t.Errorf("fleet state %q, want healthy", fr.State)
+	}
+}
+
+// TestMergeFleetSeverityAndScore pins worst-state propagation and the
+// min-budget health score.
+func TestMergeFleetSeverityAndScore(t *testing.T) {
+	okStatus := func(remaining float64) ObjectiveStatus {
+		st := ObjectiveStatus{Name: "avail", Type: TypeAvailability, Target: 0.9, State: StateOK}
+		st.Windows[WinBudget] = WindowStat{Good: 100 * remaining, Bad: 100 * (1 - remaining) * 0.1 / (1 - 0.1)}
+		// Construct tallies whose badFraction yields the wanted budget:
+		// badFrac = (1-remaining)*budget.
+		bad := (1 - remaining) * 0.1
+		st.Windows[WinBudget] = WindowStat{Good: 100 * (1 - bad), Bad: 100 * bad}
+		return st
+	}
+	paged := okStatus(0.2)
+	paged.State = StatePage
+	fr := MergeFleet([]NodeReport{
+		{Node: "n1", Healthy: true, Objectives: []ObjectiveStatus{okStatus(1)}},
+		{Node: "n2", Healthy: false, Objectives: []ObjectiveStatus{paged}},
+	}, nil)
+	if fr.State != FleetCritical {
+		t.Errorf("fleet state %q, want critical (one node paged)", fr.State)
+	}
+	if fr.Objectives[0].State != StatePage {
+		t.Errorf("merged objective state %q, want the worst node state", fr.Objectives[0].State)
+	}
+	// Merged tallies: (90+54)/(100+100)... the score is the merged
+	// remaining, clamped to [0,1], and must be below 1.
+	if fr.Score >= 1 || fr.Score < 0 {
+		t.Errorf("fleet score %v, want in [0,1)", fr.Score)
+	}
+}
+
+// TestMergeFleetUnreachable pins that unfoldable nodes degrade the
+// fleet verdict rather than silently vanishing.
+func TestMergeFleetUnreachable(t *testing.T) {
+	st := ObjectiveStatus{Name: "avail", Type: TypeAvailability, Target: 0.9, State: StateOK}
+	st.Windows[WinBudget] = WindowStat{Good: 100}
+	fr := MergeFleet([]NodeReport{{Node: "n1", Healthy: true, Objectives: []ObjectiveStatus{st}}}, []string{"n2"})
+	if fr.State != FleetDegraded {
+		t.Errorf("fleet state %q, want degraded with an unreachable node", fr.State)
+	}
+	if len(fr.Unreachable) != 1 || fr.Unreachable[0] != "n2" {
+		t.Errorf("unreachable %v", fr.Unreachable)
+	}
+}
+
+// TestScore pins the one-shot run verdict mistload exits on.
+func TestScore(t *testing.T) {
+	cfg := Config{Objectives: []Objective{
+		{Name: "avail", Type: TypeAvailability, Target: 0.9},
+		{Name: "p99", Type: TypeLatency, Target: 0.5, Bound: 100},
+		{Name: "queue", Type: TypeQueueDepth, Target: 0.9, Bound: 8}, // skipped: no history
+	}}
+	reg := metrics.NewRegistry()
+	feed(reg, "/tune", "200", 98, 5*time.Millisecond)
+	feed(reg, "/tune", "500", 2, 5*time.Millisecond)
+	sc, err := Score(reg, "reqs", "lat", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Met {
+		t.Fatalf("clean run not met: %+v", sc.Objectives)
+	}
+	if len(sc.Objectives) != 2 {
+		t.Fatalf("scored %d objectives, want 2 (queueDepth skipped)", len(sc.Objectives))
+	}
+	if rem := sc.Objectives[0].BudgetRemaining; math.Abs(rem-0.8) > 1e-9 {
+		t.Errorf("availability remaining %v, want 0.8 (2%% bad of a 10%% budget)", rem)
+	}
+
+	// Breach the availability budget: now 20% bad.
+	feed(reg, "/tune", "500", 23, 5*time.Millisecond)
+	sc, err = Score(reg, "reqs", "lat", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Met {
+		t.Fatal("breached run reported met")
+	}
+	if sc.Objectives[0].State != StatePage {
+		t.Errorf("breached objective state %q, want page", sc.Objectives[0].State)
+	}
+	if sc.Objectives[1].State != StateOK {
+		t.Errorf("latency objective state %q, want ok", sc.Objectives[1].State)
+	}
+}
+
+// TestSnapshotIsolation pins that wire snapshots are deep copies — a
+// later Tick must not mutate an already-served report.
+func TestSnapshotIsolation(t *testing.T) {
+	cfg := Config{
+		IntervalMs: 1000,
+		Objectives: []Objective{{Name: "p99", Type: TypeLatency, Target: 0.9, Bound: 100, WindowS: 10}},
+	}
+	reg := metrics.NewRegistry()
+	eng, clock := testEngine(t, cfg, reg, nil)
+	feed(reg, "/tune", "200", 10, time.Millisecond)
+	clock.Advance(time.Second)
+	eng.Tick()
+	rep := eng.Snapshot("n1")
+	before := append([]uint64(nil), rep.Objectives[0].LatencyBuckets...)
+	feed(reg, "/tune", "200", 90, 700*time.Millisecond)
+	clock.Advance(time.Second)
+	eng.Tick()
+	eng.Evaluate()
+	for i, v := range rep.Objectives[0].LatencyBuckets {
+		if v != before[i] {
+			t.Fatalf("snapshot mutated at bucket %d: %d -> %d", i, before[i], v)
+		}
+	}
+	if rep.Node != "n1" || rep.IntervalMs != 1000 {
+		t.Errorf("snapshot header %+v", rep)
+	}
+}
