@@ -12,7 +12,7 @@ BENCH_TOLERANCE ?= 0.25
 # Where bench-profile drops its pprof output.
 PROFILE_DIR ?= profiles
 
-.PHONY: ci vet build test race property bench bench-json bench-regression bench-profile serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke slo-smoke
+.PHONY: ci vet build test race property bench bench-json bench-regression bench-profile serve fuzz lint mistlint load-smoke cluster-smoke elastic-smoke slo-smoke pilot-smoke flag-docs flag-docs-check
 
 ci: lint build race property ## full tier-1 + race + property gate
 
@@ -27,8 +27,14 @@ lint: ## gofmt must have nothing to say, vet must pass, and mistlint must find n
 	$(GO) vet ./...
 	$(GO) run ./cmd/mistlint ./...
 
-mistlint: ## repo-specific invariant checks (nodeterm, lockio, ctxflow, gotrack, wiretags, errdrop)
+mistlint: ## repo-specific invariant checks (nodeterm, lockio, ctxflow, gotrack, wiretags, errdrop, doccomment)
 	$(GO) run ./cmd/mistlint ./...
+
+flag-docs: ## regenerate docs/FLAGS.md from every command's -help output
+	$(GO) run ./tools/flagdoc
+
+flag-docs-check: ## fail if docs/FLAGS.md drifted from the binaries' actual flags
+	$(GO) run ./tools/flagdoc -check
 
 build:
 	$(GO) build ./...
@@ -57,6 +63,11 @@ slo-smoke: ## 3-node mixed replay scored against the committed SLO spec (budget 
 	$(GO) run ./cmd/mistload -scenario mixed -inproc -nodes 3 -duration 5s -seed 1 -concurrency 4 -slo-config testdata/slo.json
 	$(GO) test -run 'TestSLOKillDrill|TestSLOEndToEnd' -count=1 -v ./internal/serve
 
+pilot-smoke: ## autoscaling drill: a flash crowd must scale 3 nodes out to 5 and pass the controller audit, a killed node must be auto-heal-drained back to exactly-R; plus the virtual-clock pilot e2e tests
+	$(GO) run ./cmd/mistload -scenario flash-crowd -inproc -nodes 3 -standbys 2 -pilot -pilot-config testdata/pilot.json -slo-config testdata/slo.json -duration 8s -seed 1 -concurrency 64 -max-queue 8
+	$(GO) run ./cmd/mistload -scenario flash-crowd -inproc -nodes 4 -pilot -pilot-config testdata/pilot.json -slo-config testdata/slo.json -duration 8s -seed 2 -kill n4@2s
+	$(GO) test -run 'TestPilot' -count=1 -v ./internal/serve
+
 property: ## schedule invariants, repeated with a pinned quick.Check budget
 	$(GO) test ./internal/schedule -run 'TestProperty' -count=5 -quickchecks $(QUICKCHECKS)
 
@@ -66,13 +77,15 @@ bench: ## cached-vs-uncached tuner, cold-vs-warm search, batch-submit amortizati
 	$(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x ./internal/serve
 	$(GO) test -run xxx -bench 'BenchmarkTraceOverhead' ./internal/trace
 	$(GO) test -run xxx -bench 'BenchmarkSLOEvaluate' -benchtime=2s ./internal/slo
+	$(GO) test -run xxx -bench 'BenchmarkPilotEvaluate' -benchtime=2s ./internal/pilot
 
 bench-json: ## run the bench set and record a machine-readable trajectory point at $(BENCH_OUT)
 	( $(GO) test -run xxx -bench 'BenchmarkTune' -benchtime=3x -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkWarmStartTune' -benchtime=3x -benchmem ./internal/core ; \
 	  $(GO) test -run xxx -bench 'BenchmarkBatchSubmit' -benchtime=2x -benchmem ./internal/serve ; \
 	  $(GO) test -run xxx -bench 'BenchmarkTraceOverhead' -benchmem ./internal/trace ; \
-	  $(GO) test -run xxx -bench 'BenchmarkSLOEvaluate' -benchtime=2s -benchmem ./internal/slo ) \
+	  $(GO) test -run xxx -bench 'BenchmarkSLOEvaluate' -benchtime=2s -benchmem ./internal/slo ; \
+	  $(GO) test -run xxx -bench 'BenchmarkPilotEvaluate' -benchtime=2s -benchmem ./internal/pilot ) \
 	| $(GO) run ./tools/bench2json -out $(BENCH_OUT)
 
 bench-regression: ## fresh bench run compared against the committed BENCH.json baseline; fails past $(BENCH_TOLERANCE) ns/op or allocs/op growth

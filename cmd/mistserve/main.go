@@ -19,6 +19,15 @@
 // forwarding) while it hands its records off, and repair restores the
 // replication factor among the survivors.
 //
+// With -pilot the fleet also heals and scales itself: every node runs
+// the same deterministic controller, the lowest-id live member acts,
+// and it joins warm standbys from -standby-pool under saturation,
+// drains them back when healthy, and auto-drains stuck members. Boot a
+// warm standby with -node-id + -advertise alone (no -peers/-join): it
+// parks outside the ring until a pilot scale-up admits it. Controller
+// state is served at GET /pilot; -pilot-dry-run rehearses without
+// actuating.
+//
 // Example session:
 //
 //	mistserve -addr :8080 -store-dir /var/lib/mist/plans &
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/pilot"
 	"repro/internal/serve"
 	"repro/internal/slo"
 	"repro/internal/store"
@@ -83,6 +93,12 @@ func main() {
 		rebalIvl  = flag.Duration("rebalance-interval", 15*time.Second, "cluster mode: anti-entropy repair cadence (0: kick-driven only)")
 
 		sloPath = flag.String("slo-config", "", "JSON SLO spec: evaluate it continuously and serve verdicts at GET /slo and GET /cluster/health")
+
+		pilotOn     = flag.Bool("pilot", false, "cluster mode: run the autoscaling/self-healing controller (the lowest-id live member acts; state at GET /pilot)")
+		pilotPath   = flag.String("pilot-config", "", "JSON pilot policy (implies -pilot; empty with -pilot: built-in defaults)")
+		pilotDry    = flag.Bool("pilot-dry-run", false, "pilot records every decision on the event timeline but never actuates")
+		standbyPool = flag.String("standby-pool", "", "cluster mode: warm standbys the pilot may scale into, as id=addr,id=addr")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -126,9 +142,64 @@ func main() {
 	if *peers != "" && *joinPeer != "" {
 		log.Fatal("-peers and -join are mutually exclusive (static boot vs elastic join)")
 	}
-	clusterMode := *peers != "" || *joinPeer != ""
-	if (*nodeID == "") != !clusterMode {
+	// -node-id + -advertise with neither -peers nor -join boots a warm
+	// standby: a parked single-member view on the real transport, serving
+	// nothing to the ring until a pilot (or operator join) admits it.
+	standbyBoot := *peers == "" && *joinPeer == "" && *nodeID != "" && *advertise != ""
+	clusterMode := *peers != "" || *joinPeer != "" || standbyBoot
+	if clusterMode && *nodeID == "" {
 		log.Fatal("cluster mode needs -node-id together with -peers or -join")
+	}
+	if *nodeID != "" && !clusterMode {
+		log.Fatal("-node-id needs -peers, -join, or -advertise (warm-standby boot)")
+	}
+	pilotEnabled := *pilotOn || *pilotPath != ""
+	if (pilotEnabled || *standbyPool != "") && !clusterMode {
+		log.Fatal("-pilot and -standby-pool need cluster mode (-peers, -join, or a warm-standby boot)")
+	}
+	if pilotEnabled {
+		var pcfg pilot.Config
+		if *pilotPath != "" {
+			var err error
+			if pcfg, err = pilot.LoadConfig(*pilotPath); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := pcfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if *pilotDry {
+			pcfg.DryRun = true
+		}
+		mode := "actuating"
+		if pcfg.DryRun {
+			mode = "dry-run"
+		}
+		log.Printf("pilot: %s controller every %dms (cooldown %ds, <=%d actions/%ds, floor %d nodes), state at GET /pilot",
+			mode, pcfg.IntervalMs, pcfg.CooldownS, pcfg.MaxActionsPerWindow, pcfg.WindowS, pcfg.MinNodes)
+		opts = append(opts, serve.WithPilot(pcfg))
+	}
+	var pool []cluster.Member
+	if *standbyPool != "" {
+		var err error
+		if pool, err = cluster.ParsePeers(*standbyPool); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("standby pool: %d warm nodes the pilot may scale into", len(pool))
+	}
+	if standbyBoot {
+		// A parked standby must know it is one — otherwise its lonely
+		// single-member view makes it consider itself the pilot leader of
+		// a fleet it was never admitted to.
+		self := false
+		for _, m := range pool {
+			self = self || m.ID == *nodeID
+		}
+		if !self {
+			pool = append(pool, cluster.Member{ID: *nodeID, Addr: *advertise})
+		}
+	}
+	if len(pool) > 0 {
+		opts = append(opts, serve.WithStandbyPool(pool))
 	}
 	if *storeDir != "" || clusterMode {
 		// Cluster mode always attaches a store (in-memory when no
@@ -149,6 +220,19 @@ func main() {
 
 	var cl *cluster.Cluster
 	switch {
+	case standbyBoot:
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:     *nodeID,
+			Members:  []cluster.Member{{ID: *nodeID, Addr: *advertise}},
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warm standby: node %s parked at %s — it serves nothing to the ring until a pilot scale-up (or an operator join) admits it",
+			*nodeID, *advertise)
 	case *peers != "":
 		members, err := cluster.ParsePeers(*peers)
 		if err != nil {
@@ -263,7 +347,7 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /cluster/events /cluster/health /slo /healthz /stats /metrics /debug/traces)", *addr)
+	log.Printf("serving on %s (POST /tune /simulate /jobs, GET /jobs /cluster /cluster/events /cluster/health /slo /pilot /healthz /stats /metrics /debug/traces)", *addr)
 	err := s.ListenAndServe(ctx, *addr, *grace)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

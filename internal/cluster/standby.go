@@ -1,0 +1,58 @@
+package cluster
+
+// Warm-standby bookkeeping. A standby is a fully booted node (process
+// up, store attached, listener serving /cluster/view) that is NOT part
+// of the membership view: it holds no ring share and receives no
+// traffic until an operator — or the pilot controller — proposes it
+// into the ring. Availability is derived from the epoch-versioned
+// membership view rather than tracked separately, so it is correct
+// across every transition without its own state machine: a standby that
+// appears in the current view is in use; one that was drained back out
+// (any later epoch without it) is available again.
+
+// SetStandbys configures the warm-standby pool. The slice is copied.
+// Entries whose ID collides with a present member are kept — they are
+// simply not available until that member drains.
+func (c *Cluster) SetStandbys(pool []Member) {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	c.standbys = append([]Member(nil), pool...)
+}
+
+// Standbys returns the configured pool (joined or not), in the
+// configured order.
+func (c *Cluster) Standbys() []Member {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	return append([]Member(nil), c.standbys...)
+}
+
+// AvailableStandbys returns the pool members absent from the current
+// membership view, in the configured order — the nodes a scale-up may
+// propose-join next.
+func (c *Cluster) AvailableStandbys() []Member {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	var out []Member
+	for _, m := range c.standbys {
+		if _, present := c.members[m.ID]; !present {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// IsStandby reports whether id belongs to the configured standby pool
+// (whether or not it is currently joined). Members for which this is
+// true are borrowed capacity: scale-down returns them to the pool
+// before ever touching the static fleet.
+func (c *Cluster) IsStandby(id string) bool {
+	c.vmu.RLock()
+	defer c.vmu.RUnlock()
+	for _, m := range c.standbys {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}

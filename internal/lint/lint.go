@@ -6,8 +6,9 @@
 // correctness rests on — invariants that PR 4–5 enforced only by
 // reviewer vigilance: protocol determinism (nodeterm), no lock held
 // across I/O (lockio), context propagation (ctxflow), tracked
-// goroutines (gotrack), complete wire tags (wiretags), and no dropped
-// mutation errors (errdrop).
+// goroutines (gotrack), complete wire tags (wiretags), no dropped
+// mutation errors (errdrop), and documented packages and wire types
+// (doccomment).
 //
 // Diagnostics print as "file:line: [check-name] message". Intentional
 // exceptions are suppressed with a "//mistlint:ignore check reason"
@@ -21,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one analyzer finding.
@@ -84,12 +86,18 @@ type Config struct {
 	// MutationPkgs are callee packages whose error returns must not be
 	// discarded anywhere in the module (errdrop).
 	MutationPkgs []string
+	// DocPkgs must carry package-level doc comments; exported types in
+	// WirePkgs additionally need doc comments (doccomment).
+	DocPkgs []string
 }
 
 // DefaultConfig scopes the analyzers to this repo's packages.
 func DefaultConfig() *Config {
 	return &Config{
-		ProtocolPkgs: []string{"repro/internal/cluster"},
+		ProtocolPkgs: []string{
+			"repro/internal/cluster",
+			"repro/internal/pilot",
+		},
 		WirePkgs: []string{
 			"repro/internal/cluster",
 			"repro/internal/serve",
@@ -98,6 +106,7 @@ func DefaultConfig() *Config {
 			"repro/internal/load",
 			"repro/internal/slo",
 			"repro/internal/trace",
+			"repro/internal/pilot",
 		},
 		GoroutinePkgs: []string{
 			"repro/internal/cluster",
@@ -117,13 +126,23 @@ func DefaultConfig() *Config {
 			"repro/internal/metrics",
 			"repro/internal/jobs",
 		},
+		DocPkgs: []string{
+			"repro/internal/...",
+			"repro/tools/...",
+		},
 	}
 }
 
-// matchScope reports whether pkgPath is covered by the scope list.
+// matchScope reports whether pkgPath is covered by the scope list: "*"
+// matches everything, a trailing "/..." matches the prefix and its
+// subtree, anything else is an exact import path.
 func matchScope(scopes []string, pkgPath string) bool {
 	for _, s := range scopes {
 		if s == "*" || s == pkgPath {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(s, "/..."); ok &&
+			(pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
 			return true
 		}
 	}
@@ -184,6 +203,7 @@ func Analyzers() []*Analyzer {
 		GotrackAnalyzer,
 		WiretagsAnalyzer,
 		ErrdropAnalyzer,
+		DoccommentAnalyzer,
 	}
 }
 

@@ -48,6 +48,7 @@ func fixtureConfig() *Config {
 		GoroutinePkgs: all,
 		CtxPkgs:       all,
 		MutationPkgs:  []string{"errdrop"},
+		DocPkgs:       all,
 	}
 }
 
@@ -97,7 +98,7 @@ func TestFixtures(t *testing.T) {
 	for _, a := range Analyzers() {
 		byName[a.Name] = a
 	}
-	for _, name := range []string{"nodeterm", "lockio", "ctxflow", "gotrack", "wiretags", "errdrop"} {
+	for _, name := range []string{"nodeterm", "lockio", "ctxflow", "gotrack", "wiretags", "errdrop", "doccomment"} {
 		t.Run(name, func(t *testing.T) {
 			a := byName[name]
 			if a == nil {

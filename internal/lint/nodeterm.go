@@ -34,6 +34,12 @@ func runNodeterm(pass *Pass) {
 		if !ok || fn.Pkg() == nil {
 			continue
 		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			// Methods are value operations (time.Time.After compares
+			// instants); only package-level functions touch the ambient
+			// clock.
+			continue
+		}
 		switch fn.Pkg().Path() {
 		case "time":
 			if bannedTimeFuncs[fn.Name()] {

@@ -1,0 +1,25 @@
+package doccomment // want `package doccomment has no package doc comment`
+
+// Documented is clean: the exported type carries a doc comment.
+type Documented struct {
+	ID string `json:"id"`
+}
+
+type Bare struct { // want `exported type Bare has no doc comment`
+	Addr string `json:"addr"`
+}
+
+// A grouped declaration: the group doc covers a lone spec, but a
+// bare spec inside a group is still a finding.
+type (
+	// Grouped is documented on the spec.
+	Grouped struct{ N int }
+
+	Naked struct{ N int } // want `exported type Naked has no doc comment`
+)
+
+// unexported types never need docs.
+type internalView struct{ epoch int64 }
+
+// Alias needs a doc too — and has one.
+type Alias = Documented

@@ -34,3 +34,10 @@ func Deadline(c Clock, d time.Duration) time.Time {
 func Fixed() time.Time {
 	return time.Unix(0, 0)
 }
+
+// Expired is clean: Time.After and Time.Sub are value comparisons on
+// instants the caller supplied, not reads of the ambient clock — they
+// must not be confused with the package-level time.After.
+func Expired(now, deadline time.Time) bool {
+	return now.After(deadline) || now.Sub(deadline) > 0
+}

@@ -46,7 +46,7 @@ func TestScenarioNamesAndUnknown(t *testing.T) {
 	want := map[string]bool{
 		"cold-storm": true, "warm-repeat": true, "simulate-burst": true,
 		"job-churn": true, "mixed": true, "failover": true, "rebalance": true,
-		"elastic": true,
+		"elastic": true, "diurnal": true, "flash-crowd": true,
 	}
 	if len(names) != len(want) {
 		t.Fatalf("scenarios %v", names)

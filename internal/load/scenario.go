@@ -211,6 +211,73 @@ var scenarios = []scenarioDef{
 		},
 	},
 	{
+		name: "diurnal",
+		desc: "day/night cycle keyed on op index: quiet stats-heavy troughs rise into warm+cold+simulate peaks — the slow demand swell an autoscaling pilot should ride without flapping",
+		next: func(rng *rand.Rand, i int) Op {
+			// Phase is a pure function of the op index: a 1000-op "day".
+			// Demand composition shifts with the phase; the rng only
+			// picks within the phase's mix, so two same-seed streams are
+			// byte-identical.
+			switch phase := i % 1000; {
+			case phase < 250: // night: trickle of polling + warm repeats
+				if rng.Intn(100) < 60 {
+					return Op{Kind: OpStats}
+				}
+				return warmTuneOp(rng)
+			case phase < 500: // morning ramp: warm-dominated, light cold
+				switch p := rng.Intn(100); {
+				case p < 60:
+					return warmTuneOp(rng)
+				case p < 75:
+					return simulateOp(rng)
+				case p < 85:
+					return coldTuneOp(rng, i)
+				default:
+					return Op{Kind: OpStats}
+				}
+			case phase < 800: // midday peak: cold searches + simulation
+				switch p := rng.Intn(100); {
+				case p < 35:
+					return coldTuneOp(rng, i)
+				case p < 65:
+					return warmTuneOp(rng)
+				case p < 90:
+					return simulateOp(rng)
+				default:
+					return Op{Kind: OpStats}
+				}
+			default: // evening decay
+				if rng.Intn(100) < 70 {
+					return warmTuneOp(rng)
+				}
+				return Op{Kind: OpStats}
+			}
+		},
+	},
+	{
+		name: "flash-crowd",
+		desc: "calm warm traffic, then a sudden cold-search storm, then recovery: the step-function overload the pilot-smoke drill scales through and back",
+		next: func(rng *rand.Rand, i int) Op {
+			// A 900-op cycle: one third calm, one third storm, one third
+			// recovery — all keyed on the op index so the storm hits at
+			// the same instants on every same-seed replay.
+			switch phase := i % 900; {
+			case phase < 300: // calm: cache-friendly warm traffic
+				if rng.Intn(100) < 85 {
+					return warmTuneOp(rng)
+				}
+				return Op{Kind: OpStats}
+			case phase < 600: // storm: every request a fresh search
+				return coldTuneOp(rng, i)
+			default: // recovery: back to warm, light polling
+				if rng.Intn(100) < 80 {
+					return warmTuneOp(rng)
+				}
+				return Op{Kind: OpStats}
+			}
+		},
+	},
+	{
 		name: "mixed",
 		desc: "production-shaped mix: warm+cold tunes, simulation, job churn, stats polling",
 		next: func(rng *rand.Rand, i int) Op {

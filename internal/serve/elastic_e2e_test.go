@@ -24,7 +24,7 @@ func settleAndAudit(t *testing.T, lc *serve.LocalCluster) *serve.ReplicationAudi
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range audit.Violations {
+	for _, v := range audit.AllViolations() {
 		t.Errorf("audit violation: %s", v)
 	}
 	return audit

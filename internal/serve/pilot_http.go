@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/pilot"
+	"repro/internal/slo"
+)
+
+// This file wires the pilot controller through the serving layer:
+// lifecycle (a background tick loop on the policy cadence), per-tick
+// signal gathering (SLO tick-cache, admission gates, health table),
+// actuation (join/drain proposals + view broadcast, reusing the elastic
+// membership machinery), leadership gating, the GET /pilot surface, and
+// mist_pilot_* gauges on /metrics.
+
+// WithPilot attaches an autoscaling policy: the server runs the pilot
+// control loop against its own fleet signals and serves controller
+// state at GET /pilot. Requires cluster mode.
+func WithPilot(cfg pilot.Config) Option {
+	// Config is all scalars, so assignment deep-copies; Validate (in
+	// initPilot) then fills defaults on this server's private copy even
+	// though one Option value is applied to every LocalCluster node.
+	return func(s *Server) { s.pilotCfg = &cfg }
+}
+
+// WithPilotClock overrides the controller's time source (virtual-time
+// tests).
+func WithPilotClock(clk pilot.Clock) Option {
+	return func(s *Server) { s.pilotClock = clk }
+}
+
+// WithPilotManual disables the background tick loop: the test harness
+// drives the controller itself via PilotTick.
+func WithPilotManual() Option {
+	return func(s *Server) { s.pilotManual = true }
+}
+
+// WithStandbyPool configures the warm-standby pool the pilot may
+// scale into. The slice is copied.
+func WithStandbyPool(pool []cluster.Member) Option {
+	return func(s *Server) { s.standbys = append([]cluster.Member(nil), pool...) }
+}
+
+// initPilot builds the controller; called by New after cluster, jobs,
+// and the SLO engine exist.
+func (s *Server) initPilot() {
+	if s.pilotCfg == nil {
+		if len(s.standbys) > 0 && s.cluster != nil {
+			// A standby pool without a pilot is still bookkept (the
+			// operator can join manually; GET /cluster shows it).
+			s.cluster.SetStandbys(s.standbys)
+		}
+		return
+	}
+	if s.cluster == nil {
+		// mistserve validates this with a friendly error; reaching here
+		// is an option-wiring bug.
+		panic("serve: WithPilot requires cluster mode (WithCluster)")
+	}
+	cfg := *s.pilotCfg
+	p, err := pilot.New(cfg, s.pilotClock)
+	if err != nil {
+		panic(fmt.Sprintf("serve: invalid pilot config reached New: %v", err))
+	}
+	s.pilot = p
+	s.cluster.SetStandbys(s.standbys)
+	s.registerPilotGauges()
+	if !s.pilotManual {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.pilotCancel = cancel
+		s.pilotWG.Add(1)
+		go s.pilotLoop(ctx)
+	}
+}
+
+// stopPilot ends the background tick loop (no-op without one).
+func (s *Server) stopPilot() {
+	if s.pilotCancel != nil {
+		s.pilotCancel()
+		s.pilotWG.Wait()
+		s.pilotCancel = nil
+	}
+}
+
+func (s *Server) pilotLoop(ctx context.Context) {
+	defer s.pilotWG.Done()
+	t := time.NewTicker(s.pilot.Config().Interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.PilotTick(ctx)
+		}
+	}
+}
+
+// PilotLeader reports whether this node is the acting controller: the
+// lowest-id member it considers live. Every node evaluates the same
+// deterministic rule, so a fleet of pilots yields one actor — and the
+// controller fails over automatically when the leader dies.
+func (s *Server) PilotLeader() bool {
+	if s.cluster == nil {
+		return false
+	}
+	self := s.cluster.Self()
+	members := s.cluster.Members()
+	// A parked standby's view is just itself; it must not control a
+	// fleet it hasn't been admitted to.
+	if s.cluster.IsStandby(self) && len(members) == 1 {
+		return false
+	}
+	for _, m := range members {
+		if m.ID < self && s.cluster.Health(m.ID) != cluster.Down {
+			return false
+		}
+	}
+	return true
+}
+
+// PilotTick runs one controller tick: gather signals, evaluate the
+// state machine, actuate committed decisions, and land everything on
+// the event timeline. Non-leaders skip entirely (their streaks would
+// otherwise drift from the actor's). Also the WithPilotManual test
+// path.
+func (s *Server) PilotTick(ctx context.Context) {
+	if s.pilot == nil || !s.PilotLeader() {
+		return
+	}
+	for _, d := range s.pilot.Evaluate(s.pilotInputs()) {
+		s.actuate(ctx, d)
+	}
+}
+
+// pilotInputs assembles one tick's signal snapshot. SLO verdicts come
+// from the engine's tick cache — a pilot tick never forces a
+// re-evaluation.
+func (s *Server) pilotInputs() pilot.Inputs {
+	in := pilot.Inputs{AllOK: true}
+	if s.sloEngine != nil {
+		for _, o := range s.sloEngine.Config().Objectives {
+			st, ok := s.sloEngine.CachedStatus(o.Name)
+			if !ok {
+				continue
+			}
+			switch st.State {
+			case slo.StatePage:
+				in.Paging = true
+				in.AllOK = false
+			case slo.StateWarning:
+				in.Warning = true
+				in.AllOK = false
+			}
+			if o.Type == slo.TypeRate429 {
+				ws := st.Windows[slo.WinFast]
+				if ws.BadFraction > in.Rate429 {
+					in.Rate429 = ws.BadFraction
+				}
+			}
+		}
+	}
+	js := s.jobs.Stats()
+	in.QueueDepth = float64(int64(js.QueueDepth) + s.tuneGate.waiting.Load() + s.simulateGate.waiting.Load())
+
+	self := s.cluster.Self()
+	shares := s.cluster.Ring().OwnershipShare()
+	for _, m := range s.cluster.Members() {
+		in.Members = append(in.Members, pilot.MemberState{
+			ID:      m.ID,
+			Self:    m.ID == self,
+			Health:  s.cluster.Health(m.ID),
+			Standby: s.cluster.IsStandby(m.ID),
+			Load:    shares[m.ID],
+		})
+	}
+	in.Standbys = s.cluster.AvailableStandbys()
+	return in
+}
+
+// actuate executes one committed decision — or records why it didn't
+// (veto, dry-run, actuation failure). Every path lands on the cluster
+// event timeline, so the operator sees proposals, executions, and
+// suppressions interleaved with the health and rebalance events they
+// reacted to.
+func (s *Server) actuate(ctx context.Context, d pilot.Decision) {
+	if d.Veto != "" {
+		s.cluster.RecordEvent(cluster.EventPilotVeto, d.Target,
+			fmt.Sprintf("%s suppressed by %s (%s)", d.Action, d.Veto, d.Reason))
+		return
+	}
+	if s.pilot.Config().DryRun {
+		typ := cluster.EventPilotScaleUp
+		if d.Action != pilot.ScaleUp {
+			typ = cluster.EventPilotDrain
+		}
+		s.cluster.RecordEvent(typ, d.Target, fmt.Sprintf("DRY-RUN %s: %s", d.Action, d.Reason))
+		s.logf("pilot: DRY-RUN %s %s (%s)", d.Action, d.Target, d.Reason)
+		return
+	}
+	switch d.Action {
+	case pilot.ScaleUp:
+		s.pilotScaleUp(ctx, d)
+	case pilot.ScaleDown, pilot.HealDrain:
+		s.pilotDrain(ctx, d)
+	}
+}
+
+// pilotScaleUp proposes the standby into the ring and broadcasts the
+// new view — the same path POST /cluster/join takes, so the joiner
+// adopts the view and the rebalancer pulls its records.
+func (s *Server) pilotScaleUp(ctx context.Context, d pilot.Decision) {
+	var target cluster.Member
+	for _, m := range s.cluster.Standbys() {
+		if m.ID == d.Target {
+			target = m
+			break
+		}
+	}
+	if target.ID == "" {
+		s.cluster.RecordEvent(cluster.EventPilotVeto, d.Target, "scale-up failed: standby no longer in pool")
+		return
+	}
+	view, changed, err := s.cluster.ProposeJoin(target)
+	if err != nil {
+		s.cluster.RecordEvent(cluster.EventPilotVeto, d.Target, "scale-up failed: "+err.Error())
+		s.logf("pilot: scale-up of %s failed: %v", d.Target, err)
+		return
+	}
+	s.cluster.RecordEvent(cluster.EventPilotScaleUp, d.Target,
+		fmt.Sprintf("%s -> epoch %d (%d members)", d.Reason, view.Epoch, len(view.Members)))
+	s.logf("pilot: scale-up %s -> epoch %d (%s)", d.Target, view.Epoch, d.Reason)
+	if changed {
+		s.broadcastView(ctx, view, nil)
+	}
+}
+
+// pilotDrain proposes the member out of the ring and broadcasts the new
+// view to the survivors and the drained node — the same path
+// POST /cluster/drain takes, so handoff (scale-down) or survivor repair
+// (heal-drain) proceeds exactly as an operator drain would.
+func (s *Server) pilotDrain(ctx context.Context, d pilot.Decision) {
+	drained, known := s.cluster.Member(d.Target)
+	if !known {
+		s.cluster.RecordEvent(cluster.EventPilotVeto, d.Target, string(d.Action)+" failed: member unknown")
+		return
+	}
+	view, changed, err := s.cluster.ProposeDrain(d.Target)
+	if err != nil {
+		s.cluster.RecordEvent(cluster.EventPilotVeto, d.Target, string(d.Action)+" failed: "+err.Error())
+		s.logf("pilot: %s of %s failed: %v", d.Action, d.Target, err)
+		return
+	}
+	s.cluster.RecordEvent(cluster.EventPilotDrain, d.Target,
+		fmt.Sprintf("%s: %s -> epoch %d (%d members)", d.Action, d.Reason, view.Epoch, len(view.Members)))
+	s.logf("pilot: %s %s -> epoch %d (%s)", d.Action, d.Target, view.Epoch, d.Reason)
+	if changed {
+		s.broadcastView(ctx, view, []cluster.Member{drained})
+	}
+}
+
+// Pilot exposes the controller (nil without WithPilot); harnesses and
+// audits read decision history through it.
+func (s *Server) Pilot() *pilot.Pilot { return s.pilot }
+
+// pilotHTTPStatus is the GET /pilot reply: the controller snapshot
+// plus the serving layer's view of leadership and the standby pool.
+type pilotHTTPStatus struct {
+	Leader             bool `json:"leader"`
+	StandbysConfigured int  `json:"standbysConfigured"`
+	StandbysAvailable  int  `json:"standbysAvailable"`
+	pilot.Status
+}
+
+// handlePilot serves GET /pilot: controller policy, streaks, counters,
+// and recent decisions on this node.
+func (s *Server) handlePilot(rw http.ResponseWriter, req *http.Request) {
+	if s.pilot == nil {
+		writeError(rw, http.StatusNotFound, errors.New("no pilot attached (see -pilot)"))
+		return
+	}
+	writeJSON(rw, http.StatusOK, pilotHTTPStatus{
+		Leader:             s.PilotLeader(),
+		StandbysConfigured: len(s.cluster.Standbys()),
+		StandbysAvailable:  len(s.cluster.AvailableStandbys()),
+		Status:             s.pilot.Status(),
+	})
+}
+
+// registerPilotGauges exports controller counters on /metrics. The
+// callbacks read the pilot's own tallies — a scrape never runs a tick.
+func (s *Server) registerPilotGauges() {
+	s.metrics.RegisterGauge("mist_pilot_scale_ups_total", nil, func() float64 {
+		n, _, _, _ := s.pilot.Counts()
+		return float64(n)
+	})
+	s.metrics.RegisterGauge("mist_pilot_scale_downs_total", nil, func() float64 {
+		_, n, _, _ := s.pilot.Counts()
+		return float64(n)
+	})
+	s.metrics.RegisterGauge("mist_pilot_heal_drains_total", nil, func() float64 {
+		_, _, n, _ := s.pilot.Counts()
+		return float64(n)
+	})
+	s.metrics.RegisterGauge("mist_pilot_vetoes_total", nil, func() float64 {
+		_, _, _, n := s.pilot.Counts()
+		return float64(n)
+	})
+	s.metrics.RegisterGauge("mist_pilot_leader", nil, func() float64 {
+		if s.PilotLeader() {
+			return 1
+		}
+		return 0
+	})
+	s.metrics.RegisterGauge("mist_pilot_standbys_available", nil, func() float64 {
+		return float64(len(s.cluster.AvailableStandbys()))
+	})
+	s.metrics.RegisterGauge("mist_pilot_dry_run", nil, func() float64 {
+		if s.pilot.Config().DryRun {
+			return 1
+		}
+		return 0
+	})
+}

@@ -66,6 +66,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/pilot"
 	"repro/internal/plan"
 	"repro/internal/schedule"
 	"repro/internal/slo"
@@ -386,6 +387,17 @@ type Server struct {
 	sloCancel context.CancelFunc
 	sloWG     sync.WaitGroup
 
+	// Pilot controller wiring (see pilot_http.go): the autoscaling
+	// policy, the controller, its tick loop's lifecycle, and the
+	// configured warm-standby pool.
+	pilotCfg    *pilot.Config
+	pilotClock  pilot.Clock
+	pilotManual bool
+	pilot       *pilot.Pilot
+	pilotCancel context.CancelFunc
+	pilotWG     sync.WaitGroup
+	standbys    []cluster.Member
+
 	tuneRequests     atomic.Uint64
 	simulateRequests atomic.Uint64
 	planCacheHits    atomic.Uint64
@@ -544,14 +556,18 @@ func New(opts ...Option) *Server {
 		// pass (the background loop must be started for it to run).
 		s.cluster.SetOnViewChange(func(cluster.View) { s.KickRebalance() })
 	}
+	// After initSLO and the cluster hooks: the controller reads the SLO
+	// tick cache and actuates through the cluster.
+	s.initPilot()
 	return s
 }
 
 // Close stops the job workers (canceling queued and running jobs), the
-// background rebalancer, and the SLO tick loop. The plan store needs no
-// teardown: every Put is already durable.
+// background rebalancer, and the SLO and pilot tick loops. The plan
+// store needs no teardown: every Put is already durable.
 func (s *Server) Close() {
 	s.StopRebalancer()
+	s.stopPilot()
 	s.stopSLO()
 	s.jobs.Close()
 }
@@ -608,6 +624,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/events", s.wrap("/cluster/events", nil, s.handleClusterEvents))
 	mux.HandleFunc("GET /cluster/health", s.wrap("/cluster/health", nil, s.handleClusterHealth))
 	mux.HandleFunc("GET /slo", s.wrap("/slo", nil, s.handleSLO))
+	mux.HandleFunc("GET /pilot", s.wrap("/pilot", nil, s.handlePilot))
 	mux.HandleFunc("GET /debug/traces", s.wrap("/debug/traces", nil, s.handleDebugTraces))
 	return mux
 }
